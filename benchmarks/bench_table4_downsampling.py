@@ -1,0 +1,39 @@
+"""Paper Table IV — mean rank vs down-sampling rate ρ_s.
+
+Both Q and D are down-sampled (each point dropped w.p. ρ_s). The paper's
+shape: every measure degrades as ρ_s grows; TrajCL (trained with the point
+-masking augmentation) degrades most gracefully among learned methods; EDR
+collapses; EDwP is the most robust heuristic thanks to projections.
+"""
+
+from repro.measures import get_measure
+
+from benchmarks.common import mean_rank_sweep, perturbed_instances, save_result
+
+RATES = [0.1, 0.2, 0.3, 0.4, 0.5]
+
+
+def test_table4_mean_rank_vs_downsampling(benchmark, porto_pipeline, porto_selfsup):
+    instances = perturbed_instances(
+        porto_pipeline.trajectories, "downsample", RATES
+    )
+    methods = {
+        "EDR": get_measure("edr"),
+        "EDwP": get_measure("edwp"),
+        "Hausdorff": get_measure("hausdorff"),
+        "Frechet": get_measure("frechet"),
+        **porto_selfsup,
+        "TrajCL": porto_pipeline.model,
+    }
+
+    table = benchmark.pedantic(
+        mean_rank_sweep, args=(methods, instances), rounds=1, iterations=1
+    )
+    save_result("table4_downsampling", table)
+
+    from repro.eval import evaluate_mean_rank
+
+    heavy = instances[f"down={RATES[-1]}"]
+    trajcl = evaluate_mean_rank(porto_pipeline.model, heavy)
+    edr = evaluate_mean_rank(methods["EDR"], heavy)
+    assert trajcl < edr, "TrajCL must stay more robust than EDR at high rho_s"

@@ -1,0 +1,46 @@
+"""Paper Table VIII — bulk similarity computation time (Q × D workload).
+
+All measures compute the full |Q| × |D| distance matrix on CPU. Paper
+shape: EDwP is by far the slowest heuristic (projection geometry per
+cell); Hausdorff the fastest heuristic; learned methods are one to two
+orders faster because they embed once and compare in O(d); heuristic
+costs vary strongly with trajectory length while learned costs do not.
+"""
+
+import time
+
+from repro.measures import get_measure
+from repro.eval import distance_matrix_of, format_table
+
+from benchmarks.common import save_result
+
+
+def test_table8_similarity_computation_time(benchmark, porto_pipeline, porto_selfsup):
+    trajectories = porto_pipeline.trajectories
+    queries, database = trajectories[:10], trajectories[:100]
+    methods = {
+        "EDR": get_measure("edr"),
+        "EDwP": get_measure("edwp"),
+        "Hausdorff": get_measure("hausdorff"),
+        "Frechet": get_measure("frechet"),
+        **porto_selfsup,
+        "TrajCL": porto_pipeline.model,
+    }
+
+    def run():
+        rows = []
+        for name, method in methods.items():
+            start = time.perf_counter()
+            distance_matrix_of(method, queries, database)
+            rows.append([name, time.perf_counter() - start])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(["method", f"{len(queries)}x{len(database)} pairs (s)"], rows)
+    save_result("table8_similarity_time", table)
+
+    times = {row[0]: row[1] for row in rows}
+    assert times["TrajCL"] < times["EDwP"], "TrajCL must beat EDwP on bulk similarity"
+    assert times["Hausdorff"] < times["EDwP"], (
+        "EDwP should be the slowest heuristic (Table VIII)"
+    )

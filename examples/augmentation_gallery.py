@@ -1,0 +1,52 @@
+"""Gallery of the TrajCL augmentation methods (paper §IV-A, Fig. 3).
+
+Renders one synthetic trajectory and each of its augmented views as ASCII
+mini-maps so the effect of every method is visible in a terminal: point
+shifting jitters, point masking thins, truncating cuts an end span,
+simplification keeps only shape-critical turning points.
+
+Run:  python examples/augmentation_gallery.py
+"""
+
+import numpy as np
+
+from repro.core.augmentation import available_augmentations, make_view
+from repro.datasets import generate_city, get_preset
+
+
+def render(points: np.ndarray, bbox, width: int = 44, height: int = 13) -> str:
+    """ASCII raster of a polyline within ``bbox``."""
+    min_x, min_y, max_x, max_y = bbox
+    canvas = [[" "] * width for _ in range(height)]
+    cols = np.clip(((points[:, 0] - min_x) / (max_x - min_x) * (width - 1)),
+                   0, width - 1).astype(int)
+    rows = np.clip(((points[:, 1] - min_y) / (max_y - min_y) * (height - 1)),
+                   0, height - 1).astype(int)
+    for col, row in zip(cols, rows):
+        canvas[height - 1 - row][col] = "o"
+    canvas[height - 1 - rows[0]][cols[0]] = "S"
+    canvas[height - 1 - rows[-1]][cols[-1]] = "E"
+    return "\n".join("".join(line) for line in canvas)
+
+
+def main() -> None:
+    trajectory = generate_city(get_preset("porto"), 1, seed=4)[0]
+    margin = 200.0
+    bbox = (
+        trajectory[:, 0].min() - margin, trajectory[:, 1].min() - margin,
+        trajectory[:, 0].max() + margin, trajectory[:, 1].max() + margin,
+    )
+    rng = np.random.default_rng(7)
+
+    for name in available_augmentations():
+        view = make_view(trajectory, name, rng)
+        print(f"--- {name}  ({len(trajectory)} -> {len(view)} points) " + "-" * 20)
+        print(render(view, bbox))
+        print()
+
+    print("S = start, E = end. Views preserve identity while varying the")
+    print("characteristics the encoder must learn to be invariant to.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Cross-dataset generalization: train on Porto, query Xi'an (paper §V-B,
+Table VI).
+
+A TrajCL encoder pre-trained on one city is applied to another city
+*without fine-tuning*. The paper attributes the strong transfer to the
+dual-feature encoder capturing generic correlation patterns. Grid-cell
+embeddings are city-specific (they encode a city's own grid graph), so the
+transfer re-uses the *encoder weights* with the target city's feature
+pipeline — exactly the protocol that matters for deployment.
+
+Run:  python examples/cross_city.py
+"""
+
+import numpy as np
+
+from repro.core import FeatureEnrichment, TrajCL
+from repro.eval import (
+    build_city_pipeline,
+    evaluate_mean_rank,
+    format_table,
+    make_instance,
+)
+
+
+def main() -> None:
+    print("Training TrajCL on Porto-like data...")
+    porto = build_city_pipeline("porto", n_trajectories=240, train_epochs=3, seed=0)
+
+    print("Preparing Xi'an-like target city (feature pipeline only)...")
+    xian = build_city_pipeline("xian", n_trajectories=240, train=False, seed=5)
+
+    # Transfer: Porto-trained encoder weights + Xi'an feature pipeline.
+    transferred = TrajCL(
+        FeatureEnrichment(xian.grid, xian.cell_embeddings,
+                          max_len=xian.config.max_len),
+        xian.config,
+        rng=np.random.default_rng(9),
+    )
+    transferred.encoder.load_state_dict(porto.model.encoder.state_dict())
+
+    print("Training a native Xi'an model for reference...")
+    native = build_city_pipeline("xian", n_trajectories=240, train_epochs=3, seed=5)
+
+    instance = make_instance(xian.trajectories, n_queries=20, database_size=120,
+                             seed=7)
+    rows = [
+        ["Xi'an -> Xi'an (native)", evaluate_mean_rank(native.model, instance)],
+        ["Porto -> Xi'an (transfer)", evaluate_mean_rank(transferred, instance)],
+    ]
+    print()
+    print("Mean rank of the ground-truth match (lower is better, best = 1.0):")
+    print(format_table(["setting", "mean rank"], rows))
+    print("\nThe paper's Table VI: the transferred encoder stays close to the")
+    print("native one, demonstrating generic trajectory-correlation learning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""kNN trajectory search with an IVF vector index (paper §V-E, Fig. 6).
+
+Embeds a trajectory database with a pre-trained TrajCL model, indexes the
+embeddings with the IVFFlat (Faiss-style Voronoi) index, and contrasts
+query latency and memory against the segment-based Hausdorff index (the
+DFT-style heuristic baseline).
+
+Run:  python examples/knn_search.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import generate_city, get_preset
+from repro.eval import build_city_pipeline, format_table
+from repro.index import IVFFlatIndex, SegmentHausdorffIndex
+
+
+def main() -> None:
+    print("Pre-training TrajCL on Xi'an-like data...")
+    pipeline = build_city_pipeline("xian", n_trajectories=240, train_epochs=2, seed=0)
+
+    print("Generating the search database...")
+    database = generate_city(get_preset("xian"), 600, seed=10)
+    queries = generate_city(get_preset("xian"), 20, seed=11)
+
+    # --- TrajCL + IVF ---------------------------------------------------
+    t0 = time.perf_counter()
+    database_embeddings = pipeline.model.encode(database)
+    embed_seconds = time.perf_counter() - t0
+
+    index = IVFFlatIndex(dim=database_embeddings.shape[1], n_lists=16, n_probe=4)
+    t0 = time.perf_counter()
+    index.train(database_embeddings, rng=np.random.default_rng(0))
+    index.add(database_embeddings)
+    ivf_build_seconds = time.perf_counter() - t0
+
+    query_embeddings = pipeline.model.encode(queries)
+    t0 = time.perf_counter()
+    _, ivf_neighbors = index.search(query_embeddings, k=3)
+    ivf_query_seconds = time.perf_counter() - t0
+
+    # --- Hausdorff + segment index --------------------------------------
+    segment_index = SegmentHausdorffIndex(bucket_size=400)
+    t0 = time.perf_counter()
+    segment_index.build(database)
+    segment_build_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    segment_neighbors = [segment_index.knn(q, k=3)[1] for q in queries]
+    segment_query_seconds = time.perf_counter() - t0
+
+    print()
+    print(format_table(
+        ["method", "build (s)", "query 20x3NN (s)", "memory (MB)"],
+        [
+            ["TrajCL + IVF", embed_seconds + ivf_build_seconds,
+             ivf_query_seconds, index.memory_bytes / 1e6],
+            ["Hausdorff + segment idx", segment_build_seconds,
+             segment_query_seconds, segment_index.memory_bytes / 1e6],
+        ],
+    ))
+
+    agreement = np.mean([
+        len(set(ivf_neighbors[i].tolist()) & set(segment_neighbors[i].tolist())) / 3
+        for i in range(len(queries))
+    ])
+    print(f"\nTop-3 agreement between the two methods: {agreement:.2f}")
+    print("(The paper's Fig. 6: embedding kNN is orders of magnitude faster "
+          "at scale, and Table IX: the segment index needs far more memory.)")
+
+
+if __name__ == "__main__":
+    main()

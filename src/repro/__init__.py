@@ -1,0 +1,45 @@
+"""repro — a from-scratch reproduction of TrajCL (ICDE 2023).
+
+*Contrastive Trajectory Similarity Learning with Dual-Feature Attention*
+(Chang, Qi, Liang, Tanin), rebuilt as a self-contained Python library:
+
+* :mod:`repro.core` — the TrajCL model (augmentations, dual-feature
+  attention encoder, MoCo contrastive training, heuristic fine-tuning);
+* :mod:`repro.nn` — the numpy autodiff / neural-network substrate;
+* :mod:`repro.trajectory` — trajectory primitives, grids, simplification;
+* :mod:`repro.measures` — Hausdorff, Fréchet, EDR, EDwP heuristics;
+* :mod:`repro.graph` — node2vec over the grid-cell graph;
+* :mod:`repro.baselines` — t2vec, E2DTC, TrjSR, CSTRM, NeuTraj,
+  Traj2SimVec, T3S, TrajGAT;
+* :mod:`repro.datasets` — synthetic city datasets + the §V protocol;
+* :mod:`repro.index` — IVFFlat and segment-based kNN indexes;
+* :mod:`repro.eval` — mean rank, HR@k, experiment pipeline.
+
+Quickstart::
+
+    from repro.eval import build_city_pipeline, evaluate_mean_rank, make_instance
+
+    pipeline = build_city_pipeline("porto", n_trajectories=240)
+    instance = make_instance(pipeline.trajectories, n_queries=20, database_size=120)
+    print(evaluate_mean_rank(pipeline.model, instance))
+"""
+
+from . import baselines, core, datasets, eval, graph, index, measures, nn, trajectory
+from .core import TrajCL, TrajCLConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "trajectory",
+    "measures",
+    "graph",
+    "core",
+    "baselines",
+    "datasets",
+    "index",
+    "eval",
+    "TrajCL",
+    "TrajCLConfig",
+    "__version__",
+]

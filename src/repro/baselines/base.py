@@ -1,0 +1,108 @@
+"""Shared infrastructure for the learned baseline measures.
+
+Every baseline in the paper's comparison ultimately exposes the same
+contract as TrajCL: ``encode(trajectories) -> (N, d)`` embeddings compared
+with L1 distance. :class:`LearnedSimilarityMeasure` provides that contract
+plus batching; :class:`CoordinateScaler` normalizes raw coordinates for the
+models that consume them directly (the recurrent baselines).
+
+Faithfulness note (DESIGN.md §1): each baseline preserves its published
+*architecture class* — recurrent seq2seq (t2vec, E2DTC), CNN over rasters
+(TrjSR), vanilla-attention contrastive (CSTRM), LSTM + memory (NeuTraj),
+sub-trajectory supervision (Traj2SimVec), LSTM + attention (T3S), graph
+attention (TrajGAT) — at reduced width, on the shared ``repro.nn``
+substrate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..trajectory import as_points, pad_point_arrays
+from ..trajectory.trajectory import TrajectoryLike
+
+
+class CoordinateScaler:
+    """Affine map of raw coordinates into [0, 1]² fitted on a training set."""
+
+    def __init__(self):
+        self.min_xy: Optional[np.ndarray] = None
+        self.scale: Optional[np.ndarray] = None
+
+    def fit(self, trajectories: Sequence[TrajectoryLike]) -> "CoordinateScaler":
+        mins = np.full(2, np.inf)
+        maxs = np.full(2, -np.inf)
+        for trajectory in trajectories:
+            points = as_points(trajectory)
+            mins = np.minimum(mins, points.min(axis=0))
+            maxs = np.maximum(maxs, points.max(axis=0))
+        if not np.isfinite(mins).all():
+            raise ValueError("cannot fit scaler on an empty set")
+        self.min_xy = mins
+        self.scale = np.maximum(maxs - mins, 1e-9)
+        return self
+
+    def transform(self, trajectory: TrajectoryLike) -> np.ndarray:
+        if self.min_xy is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (as_points(trajectory) - self.min_xy) / self.scale
+
+    def transform_batch(
+        self, trajectories: Sequence[TrajectoryLike], max_len: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scaled, padded ``(B, L, 2)`` batch plus true lengths."""
+        scaled = [self.transform(t) for t in trajectories]
+        return pad_point_arrays(scaled, max_len=max_len)
+
+
+class LearnedSimilarityMeasure(nn.Module):
+    """Base class: batched encoding + L1 embedding distances."""
+
+    #: embedding dimensionality, set by subclasses
+    output_dim: int = 0
+    #: registry name, set by subclasses
+    name: str = "learned"
+
+    def embed_batch(self, trajectories: Sequence[TrajectoryLike]) -> nn.Tensor:
+        """Differentiable embedding of a (small) batch. Subclasses implement."""
+        raise NotImplementedError
+
+    def encode(
+        self, trajectories: Sequence[TrajectoryLike], batch_size: int = 128
+    ) -> np.ndarray:
+        """Inference-mode embeddings ``(N, output_dim)``."""
+        was_training = self.training
+        self.eval()
+        chunks: List[np.ndarray] = []
+        with nn.no_grad():
+            for start in range(0, len(trajectories), batch_size):
+                batch = trajectories[start:start + batch_size]
+                chunks.append(self.embed_batch(batch).data.copy())
+        if was_training:
+            self.train()
+        return np.concatenate(chunks, axis=0)
+
+    def distance_matrix(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Sequence[TrajectoryLike],
+    ) -> np.ndarray:
+        """L1 distances between query and database embeddings."""
+        query_emb = self.encode(queries)
+        database_emb = self.encode(database)
+        return np.abs(query_emb[:, None, :] - database_emb[None, :, :]).sum(axis=2)
+
+
+def sample_training_pairs(
+    n: int,
+    count: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct random index pairs for supervised distance regression."""
+    left = rng.integers(0, n, size=count)
+    right = rng.integers(0, n, size=count)
+    keep = left != right
+    return left[keep], right[keep]

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main workflows without writing code:
+
+* ``generate``  — write a synthetic city dataset to an ``.npz`` file;
+* ``train``     — pre-train TrajCL on a city (or an ``.npz`` dataset) and
+  save the full pipeline checkpoint;
+* ``encode``    — embed trajectories with a trained checkpoint;
+* ``evaluate``  — mean-rank evaluation of a checkpoint (and optionally the
+  heuristic measures) under the paper's §V-B protocol;
+* ``knn``       — k-nearest-neighbour queries via the IVF index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _load_trajectories(path: str) -> List[np.ndarray]:
+    """Read trajectories from an ``.npz`` written by ``save_trajectories``."""
+    with np.load(path) as archive:
+        count = int(archive["count"])
+        return [archive[f"traj_{i}"] for i in range(count)]
+
+
+def save_trajectories(path: str, trajectories: Sequence[np.ndarray]) -> None:
+    """Write trajectories to ``.npz`` (one array per trajectory)."""
+    payload = {"count": np.array(len(trajectories))}
+    for i, trajectory in enumerate(trajectories):
+        payload[f"traj_{i}"] = np.asarray(trajectory, dtype=np.float64)
+    np.savez_compressed(path, **payload)
+
+
+# ----------------------------------------------------------------------
+# Sub-commands
+# ----------------------------------------------------------------------
+def cmd_generate(args) -> int:
+    from .datasets import generate_city, get_preset
+
+    trajectories = generate_city(get_preset(args.city), args.count, seed=args.seed)
+    save_trajectories(args.output, trajectories)
+    lengths = [len(t) for t in trajectories]
+    print(f"wrote {len(trajectories)} {args.city} trajectories to {args.output} "
+          f"(points/traj: mean {np.mean(lengths):.0f}, "
+          f"min {min(lengths)}, max {max(lengths)})")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from .core import save_pipeline
+    from .eval import build_city_pipeline
+
+    start = time.perf_counter()
+    pipeline = build_city_pipeline(
+        args.city, n_trajectories=args.count, train_epochs=args.epochs,
+        seed=args.seed,
+    )
+    elapsed = time.perf_counter() - start
+    save_pipeline(args.output, pipeline.model)
+    losses = ", ".join(f"{loss:.3f}" for loss in pipeline.history.losses)
+    print(f"trained on {args.count} {args.city} trajectories in {elapsed:.1f}s "
+          f"(epoch losses: {losses})")
+    print(f"checkpoint written to {args.output}")
+    return 0
+
+
+def cmd_encode(args) -> int:
+    from .core import load_pipeline
+
+    model = load_pipeline(args.checkpoint)
+    trajectories = _load_trajectories(args.data)
+    start = time.perf_counter()
+    embeddings = model.encode(trajectories)
+    elapsed = time.perf_counter() - start
+    np.save(args.output, embeddings)
+    print(f"encoded {len(trajectories)} trajectories -> {embeddings.shape} "
+          f"in {elapsed:.2f}s; saved to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .core import load_pipeline
+    from .eval import evaluate_mean_rank, format_table, make_instance
+    from .measures import available_measures, get_measure
+
+    model = load_pipeline(args.checkpoint)
+    trajectories = _load_trajectories(args.data)
+    instance = make_instance(
+        trajectories, n_queries=args.queries, database_size=args.database,
+        seed=args.seed,
+    )
+    rows = [["TrajCL", evaluate_mean_rank(model, instance)]]
+    if args.heuristics:
+        for name in available_measures():
+            rows.append([name, evaluate_mean_rank(get_measure(name), instance)])
+    print(format_table(["method", "mean rank"], rows))
+    return 0
+
+
+def cmd_knn(args) -> int:
+    from .core import load_pipeline
+    from .index import IVFFlatIndex
+
+    model = load_pipeline(args.checkpoint)
+    database = _load_trajectories(args.data)
+    embeddings = model.encode(database)
+    n_lists = max(1, min(args.lists, len(embeddings) // 4))
+    index = IVFFlatIndex(embeddings.shape[1], n_lists=n_lists,
+                         n_probe=max(1, n_lists // 4))
+    index.train(embeddings, rng=np.random.default_rng(args.seed))
+    index.add(embeddings)
+
+    query = database[args.query]
+    distances, neighbors = index.search(model.encode([query]), k=args.k + 1)
+    print(f"{args.k}NN of trajectory {args.query}:")
+    shown = 0
+    for distance, neighbor in zip(distances[0], neighbors[0]):
+        if neighbor == args.query:
+            continue  # skip self-match
+        shown += 1
+        print(f"  #{shown}: trajectory {neighbor} (L1 distance {distance:.3f})")
+        if shown == args.k:
+            break
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TrajCL reproduction CLI (ICDE 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic city dataset")
+    p.add_argument("--city", default="porto",
+                   choices=["porto", "chengdu", "xian", "germany"])
+    p.add_argument("--count", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", required=True, help="output .npz path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("train", help="pre-train TrajCL and save a checkpoint")
+    p.add_argument("--city", default="porto",
+                   choices=["porto", "chengdu", "xian", "germany"])
+    p.add_argument("--count", type=int, default=300)
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", required=True, help="checkpoint .npz path")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("encode", help="embed trajectories with a checkpoint")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--data", required=True, help="trajectories .npz")
+    p.add_argument("--output", required=True, help="embeddings .npy path")
+    p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser("evaluate", help="mean-rank evaluation (paper §V-B)")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--queries", type=int, default=15)
+    p.add_argument("--database", type=int, default=100)
+    p.add_argument("--heuristics", action="store_true",
+                   help="also evaluate Hausdorff/Frechet/EDR/EDwP")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("knn", help="kNN query over an IVF-indexed database")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--data", required=True)
+    p.add_argument("--query", type=int, default=0,
+                   help="index of the query trajectory within --data")
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--lists", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_knn)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""DualSTB — the dual-feature self-attention trajectory backbone encoder.
+
+The left half of Fig. 4: a stack of layers, each
+
+    DualMSM → Add & LayerNorm (Eq. 10) → MLP → Add & LayerNorm (Eq. 11),
+
+followed by average pooling over valid positions to produce the trajectory
+embedding ``h ∈ R^d`` (§IV-C). Two ablation encoders used by Fig. 7 are
+provided: :class:`VanillaSTB` (TrajCL-MSM: vanilla attention on structural
+features only) and :class:`ConcatSTB` (TrajCL-concat: vanilla attention on
+``T ∥ S``).
+
+All encoders share one calling convention:
+``encoder(T, S, key_padding_mask, lengths) -> (B, output_dim)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .dual_attention import DualMSM
+
+
+class DualSTBLayer(nn.Module):
+    """One DualSTB block: DualMSM plus the post-attention residual stages."""
+
+    def __init__(
+        self,
+        structural_dim: int,
+        spatial_dim: int,
+        num_heads: int,
+        num_spatial_layers: int,
+        dropout: float,
+        ffn_multiplier: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.dual_msm = DualMSM(
+            structural_dim, spatial_dim, num_heads,
+            num_spatial_layers=num_spatial_layers, dropout=dropout, rng=rng,
+        )
+        self.norm1 = nn.LayerNorm(structural_dim)
+        self.norm2 = nn.LayerNorm(structural_dim)
+        self.ffn = nn.FeedForward(
+            structural_dim, hidden_dim=ffn_multiplier * structural_dim,
+            dropout=dropout, rng=rng,
+        )
+        self.drop1 = nn.Dropout(dropout, rng=rng)
+        self.drop2 = nn.Dropout(dropout, rng=rng)
+
+    def forward(self, structural, spatial, key_padding_mask=None):
+        c_ts, spatial_hidden = self.dual_msm(
+            structural, spatial, key_padding_mask=key_padding_mask
+        )
+        x = self.norm1(structural + self.drop1(c_ts))          # Eq. 10
+        x = self.norm2(x + self.drop2(self.ffn(x)))            # Eq. 11
+        return x, spatial_hidden
+
+
+class DualSTB(nn.Module):
+    """The full backbone: stacked DualSTB layers + masked average pooling."""
+
+    def __init__(
+        self,
+        structural_dim: int,
+        spatial_dim: int = 4,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        num_spatial_layers: int = 2,
+        dropout: float = 0.1,
+        ffn_multiplier: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.output_dim = structural_dim
+        self.layers = nn.ModuleList(
+            DualSTBLayer(
+                structural_dim, spatial_dim, num_heads, num_spatial_layers,
+                dropout, ffn_multiplier, rng,
+            )
+            for _ in range(num_layers)
+        )
+
+    def forward(self, structural, spatial, key_padding_mask=None, lengths=None):
+        t_hidden = structural if isinstance(structural, nn.Tensor) else nn.Tensor(structural)
+        s_hidden = spatial if isinstance(spatial, nn.Tensor) else nn.Tensor(spatial)
+        for layer in self.layers:
+            t_hidden, s_hidden = layer(t_hidden, s_hidden, key_padding_mask=key_padding_mask)
+        return F.mean_pool(t_hidden, lengths=lengths)
+
+    def last_layer_parameters(self):
+        """Parameters of the final block — the paper's fine-tuning target
+        ("we fine-tune the last layer of the encoder", §V-F)."""
+        return self.layers[len(self.layers) - 1].parameters()
+
+
+class VanillaSTB(nn.Module):
+    """Ablation *TrajCL-MSM*: vanilla transformer on structural features only.
+
+    "replaces DualMSM with the vanilla MSM used in Transformer. This
+    variant also ignores the spatial features S." (§V-G)
+    """
+
+    def __init__(
+        self,
+        structural_dim: int,
+        spatial_dim: int = 4,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        dropout: float = 0.1,
+        ffn_multiplier: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.output_dim = structural_dim
+        self.encoder = nn.TransformerEncoder(
+            structural_dim, num_heads, num_layers,
+            ffn_dim=ffn_multiplier * structural_dim, dropout=dropout, rng=rng,
+        )
+
+    def forward(self, structural, spatial, key_padding_mask=None, lengths=None):
+        del spatial  # explicitly unused (the point of this ablation)
+        x = structural if isinstance(structural, nn.Tensor) else nn.Tensor(structural)
+        hidden, _ = self.encoder(x, key_padding_mask=key_padding_mask)
+        return F.mean_pool(hidden, lengths=lengths)
+
+    def last_layer_parameters(self):
+        return self.encoder.layers[len(self.encoder.layers) - 1].parameters()
+
+
+class ConcatSTB(nn.Module):
+    """Ablation *TrajCL-concat*: vanilla transformer on ``T ∥ S``.
+
+    "also uses the vanilla MSM, but it concatenates the spatial features
+    with the structural features, i.e., T∥S, as the input" (§V-G). The
+    output dimensionality is ``d_t + d_s``.
+    """
+
+    def __init__(
+        self,
+        structural_dim: int,
+        spatial_dim: int = 4,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        dropout: float = 0.1,
+        ffn_multiplier: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        total = structural_dim + spatial_dim
+        if total % num_heads:
+            raise ValueError(
+                f"concat dim {total} not divisible by num_heads={num_heads}"
+            )
+        self.output_dim = total
+        self.encoder = nn.TransformerEncoder(
+            total, num_heads, num_layers,
+            ffn_dim=ffn_multiplier * total, dropout=dropout, rng=rng,
+        )
+
+    def forward(self, structural, spatial, key_padding_mask=None, lengths=None):
+        t = structural if isinstance(structural, nn.Tensor) else nn.Tensor(structural)
+        s = spatial if isinstance(spatial, nn.Tensor) else nn.Tensor(spatial)
+        x = nn.concatenate([t, s], axis=2)
+        hidden, _ = self.encoder(x, key_padding_mask=key_padding_mask)
+        return F.mean_pool(hidden, lengths=lengths)
+
+    def last_layer_parameters(self):
+        return self.encoder.layers[len(self.encoder.layers) - 1].parameters()
+
+
+ENCODER_VARIANTS = {
+    "dual": DualSTB,
+    "msm": VanillaSTB,
+    "concat": ConcatSTB,
+}
+
+
+def build_encoder(variant: str, **kwargs) -> nn.Module:
+    """Factory over the Fig. 7 encoder variants (``dual``/``msm``/``concat``)."""
+    try:
+        cls = ENCODER_VARIANTS[variant]
+    except KeyError:
+        raise KeyError(
+            f"unknown encoder variant {variant!r}; available: {sorted(ENCODER_VARIANTS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,134 @@
+"""Pointwise trajectory feature enrichment (paper §IV-B).
+
+For every point of an (augmented) trajectory view this module produces:
+
+* a **structural feature embedding** — the node2vec embedding of the grid
+  cell enclosing the point (coarse-grained shape / connectivity signal);
+* a **spatial feature embedding** — the 4-tuple ``(x, y, r, l)`` of Eq. 8:
+  coordinates, the turning radian at the point, and the mean length of its
+  two incident segments (fine-grained location signal);
+* a shared **sinusoidal position encoding** added to both (Eq. 9).
+
+Outputs are padded to the model's maximum length ``l`` with a boolean
+key-padding mask, ready for the DualSTB encoder. Coordinates and lengths
+are normalized by the grid extent / cell size respectively — an
+implementation-level choice for optimization stability that does not alter
+the information content of the features.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..trajectory import Grid, as_points
+from ..trajectory.trajectory import TrajectoryLike
+
+
+def sinusoidal_position_encoding(length: int, dim: int) -> np.ndarray:
+    """The Transformer sine/cosine table ``(length, dim)`` (Eq. 9)."""
+    positions = np.arange(length, dtype=np.float64)[:, None]
+    js = np.arange(dim, dtype=np.float64)[None, :]
+    # even dims use sin(i / 10000^(j/d)); odd dims cos(i / 10000^((j-1)/d))
+    exponents = np.where(js % 2 == 0, js, js - 1) / max(dim, 1)
+    angles = positions / np.power(10000.0, exponents)
+    table = np.where(js % 2 == 0, np.sin(angles), np.cos(angles))
+    return table
+
+
+def spatial_features(points: np.ndarray, grid: Grid) -> np.ndarray:
+    """Eq. 8 features per point, normalized: ``(N, 4)``.
+
+    ``x, y`` are scaled to [0, 1] over the grid extent; the radian is
+    scaled by 1/π; segment mean length is scaled by the cell size. For the
+    first/last point (no angle defined) the radian defaults to π (straight
+    continuation) and the missing segment is ignored in the mean.
+    """
+    n = len(points)
+    x = (points[:, 0] - grid.min_x) / (grid.max_x - grid.min_x)
+    y = (points[:, 1] - grid.min_y) / (grid.max_y - grid.min_y)
+
+    radians = np.full(n, np.pi)
+    mean_len = np.zeros(n)
+    if n >= 2:
+        seg = np.linalg.norm(np.diff(points, axis=0), axis=1)  # (N-1,)
+        mean_len[0] = seg[0]
+        mean_len[-1] = seg[-1]
+        if n >= 3:
+            mean_len[1:-1] = 0.5 * (seg[:-1] + seg[1:])
+            before = points[:-2] - points[1:-1]
+            after = points[2:] - points[1:-1]
+            denom = np.maximum(
+                np.linalg.norm(before, axis=1) * np.linalg.norm(after, axis=1), 1e-12
+            )
+            cos = np.clip((before * after).sum(axis=1) / denom, -1.0, 1.0)
+            radians[1:-1] = np.arccos(cos)
+    return np.stack(
+        [x, y, radians / np.pi, mean_len / grid.cell_size], axis=1
+    )
+
+
+class FeatureEnrichment:
+    """Stateless-per-call feature pipeline bound to a grid and cell table.
+
+    Parameters
+    ----------
+    grid:
+        The space partitioning (cell side = the paper's 100 m parameter).
+    cell_embeddings:
+        ``(n_cells, d_t)`` array, normally from
+        :func:`repro.graph.node2vec_embeddings`.
+    max_len:
+        Model maximum trajectory length ``l``; longer inputs are truncated.
+    """
+
+    def __init__(self, grid: Grid, cell_embeddings: np.ndarray, max_len: int = 64):
+        cell_embeddings = np.asarray(cell_embeddings, dtype=np.float64)
+        if cell_embeddings.ndim != 2 or len(cell_embeddings) != grid.n_cells:
+            raise ValueError(
+                f"cell_embeddings must be (n_cells={grid.n_cells}, d_t), "
+                f"got {cell_embeddings.shape}"
+            )
+        if max_len < 2:
+            raise ValueError("max_len must be at least 2")
+        self.grid = grid
+        self.cell_embeddings = cell_embeddings
+        self.max_len = int(max_len)
+        self.structural_dim = cell_embeddings.shape[1]
+        self.spatial_dim = 4
+        self._pe_structural = sinusoidal_position_encoding(self.max_len, self.structural_dim)
+        self._pe_spatial = sinusoidal_position_encoding(self.max_len, self.spatial_dim)
+
+    def encode_one(self, trajectory: TrajectoryLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Unpadded ``(T, S)`` matrices for a single trajectory."""
+        points = as_points(trajectory)[: self.max_len]
+        cells = self.grid.cell_of(points)
+        structural = self.cell_embeddings[cells] + self._pe_structural[: len(points)]
+        spatial = spatial_features(points, self.grid) + self._pe_spatial[: len(points)]
+        return structural, spatial
+
+    def encode_batch(
+        self, trajectories: Sequence[TrajectoryLike]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Padded batch: ``(T, S, padding_mask, lengths)``.
+
+        ``T``: ``(B, l, d_t)``; ``S``: ``(B, l, 4)``; ``padding_mask``:
+        boolean ``(B, l)`` with True at padded positions; ``lengths``:
+        ``(B,)`` true lengths.
+        """
+        if len(trajectories) == 0:
+            raise ValueError("empty batch")
+        batch = len(trajectories)
+        structural = np.zeros((batch, self.max_len, self.structural_dim))
+        spatial = np.zeros((batch, self.max_len, self.spatial_dim))
+        mask = np.ones((batch, self.max_len), dtype=bool)
+        lengths = np.zeros(batch, dtype=np.int64)
+        for i, trajectory in enumerate(trajectories):
+            t_mat, s_mat = self.encode_one(trajectory)
+            n = len(t_mat)
+            structural[i, :n] = t_mat
+            spatial[i, :n] = s_mat
+            mask[i, :n] = False
+            lengths[i] = n
+        return structural, spatial, mask, lengths

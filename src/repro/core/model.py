@@ -1,0 +1,220 @@
+"""TrajCL — the full contrastive trajectory similarity model (paper §III).
+
+Implements the MoCo-style dual-branch framework of Fig. 2:
+
+* an online branch (backbone encoder ``F`` + projection head ``P``) trained
+  by gradient descent;
+* a momentum branch (``F'`` + ``P'``) updated by the exponential moving
+  average of Eq. 3 (m = 0.999) and never by gradients;
+* a fixed-size FIFO **negative queue** of recent momentum projections
+  (§III, "we use a queue Q_neg of a fixed size to store negative samples");
+* the InfoNCE objective of Eq. 2 over cosine similarities with
+  temperature τ.
+
+After training, ``encode`` exposes the detached feature-enrichment +
+backbone pipeline: trajectory → embedding ``h``, compared with L1 distance
+(the paper's similarity convention).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.losses import info_nce_loss
+from ..trajectory.trajectory import TrajectoryLike
+from .config import TrajCLConfig
+from .encoder import build_encoder
+from .features import FeatureEnrichment
+
+
+class NegativeQueue:
+    """Fixed-capacity FIFO of L2-normalized momentum projections."""
+
+    def __init__(self, capacity: int, dim: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.dim = dim
+        self._buffer = np.zeros((capacity, dim), dtype=np.float64)
+        self._size = 0
+        self._pointer = 0
+
+    def push(self, vectors: np.ndarray) -> None:
+        """Enqueue rows (oldest entries are overwritten once full)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (*, {self.dim}) vectors")
+        if self.capacity == 0:
+            return
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        vectors = vectors / np.maximum(norms, 1e-8)
+        for row in vectors:  # batches are small; clarity over vectorized wrap
+            self._buffer[self._pointer] = row
+            self._pointer = (self._pointer + 1) % self.capacity
+            self._size = min(self._size + 1, self.capacity)
+
+    def negatives(self) -> Optional[np.ndarray]:
+        """Current contents ``(size, dim)`` or None when empty."""
+        if self._size == 0:
+            return None
+        return self._buffer[: self._size]
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class TrajCL(nn.Module):
+    """The complete TrajCL model (feature pipeline + dual branches + queue)."""
+
+    def __init__(
+        self,
+        features: FeatureEnrichment,
+        config: Optional[TrajCLConfig] = None,
+        encoder_variant: str = "dual",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        config = config if config is not None else TrajCLConfig()
+        if features.structural_dim != config.structural_dim:
+            raise ValueError(
+                f"cell embedding dim {features.structural_dim} != "
+                f"config.structural_dim {config.structural_dim}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.config = config
+        self.features = features
+        self.encoder_variant = encoder_variant
+
+        encoder_kwargs = dict(
+            structural_dim=config.structural_dim,
+            spatial_dim=config.spatial_dim,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            dropout=config.dropout,
+            ffn_multiplier=config.ffn_multiplier,
+            rng=rng,
+        )
+        if encoder_variant == "dual":
+            encoder_kwargs["num_spatial_layers"] = config.num_spatial_layers
+        self.encoder = build_encoder(encoder_variant, **encoder_kwargs)
+        self.projector = nn.ProjectionHead(
+            self.encoder.output_dim, config.projection_dim, rng=rng
+        )
+
+        # Momentum branch: same architecture, copied weights, no gradients,
+        # permanently in eval mode (no dropout noise on the keys).
+        self.momentum_encoder = build_encoder(encoder_variant, **encoder_kwargs)
+        self.momentum_projector = nn.ProjectionHead(
+            self.encoder.output_dim, config.projection_dim, rng=rng
+        )
+        self.momentum_encoder.load_state_dict(self.encoder.state_dict())
+        self.momentum_projector.load_state_dict(self.projector.state_dict())
+        for param in self.momentum_encoder.parameters():
+            param.requires_grad = False
+        for param in self.momentum_projector.parameters():
+            param.requires_grad = False
+        self.momentum_encoder.eval()
+        self.momentum_projector.eval()
+
+        self.queue = NegativeQueue(config.queue_size, config.projection_dim)
+
+    # ------------------------------------------------------------------
+    # Branch forwards
+    # ------------------------------------------------------------------
+    def trainable_parameters(self) -> List[nn.Parameter]:
+        """Parameters updated by SGD: online encoder + projector (Eq. 3 note)."""
+        return self.encoder.parameters() + self.projector.parameters()
+
+    def _embed_online(self, views: Sequence[TrajectoryLike]) -> nn.Tensor:
+        structural, spatial, mask, lengths = self.features.encode_batch(views)
+        return self.encoder(
+            nn.Tensor(structural), nn.Tensor(spatial),
+            key_padding_mask=mask, lengths=lengths,
+        )
+
+    def _embed_momentum(self, views: Sequence[TrajectoryLike]) -> np.ndarray:
+        structural, spatial, mask, lengths = self.features.encode_batch(views)
+        with nn.no_grad():
+            h = self.momentum_encoder(
+                nn.Tensor(structural), nn.Tensor(spatial),
+                key_padding_mask=mask, lengths=lengths,
+            )
+            z = self.momentum_projector(h)
+        return z.data
+
+    # ------------------------------------------------------------------
+    # Training API
+    # ------------------------------------------------------------------
+    def contrastive_loss(
+        self,
+        views_online: Sequence[TrajectoryLike],
+        views_momentum: Sequence[TrajectoryLike],
+        update_queue: bool = True,
+    ) -> nn.Tensor:
+        """InfoNCE loss of one batch of (view, view') pairs (Eq. 2).
+
+        The momentum projections become negatives for *later* batches: the
+        queue is updated after the loss is formed, per MoCo.
+        """
+        z_online = self.projector(self._embed_online(views_online))
+        z_momentum = self._embed_momentum(views_momentum)
+        loss = info_nce_loss(
+            z_online,
+            nn.Tensor(z_momentum),
+            self.queue.negatives(),
+            temperature=self.config.temperature,
+        )
+        if update_queue:
+            self.queue.push(z_momentum)
+        return loss
+
+    def momentum_update(self) -> None:
+        """Eq. 3: Θ' ← m·Θ' + (1-m)·Θ for encoder and projector."""
+        m = self.config.momentum
+        pairs = [
+            (self.momentum_encoder, self.encoder),
+            (self.momentum_projector, self.projector),
+        ]
+        for momentum_module, online_module in pairs:
+            online = dict(online_module.named_parameters())
+            for name, param in momentum_module.named_parameters():
+                param.data *= m
+                param.data += (1.0 - m) * online[name].data
+
+    # ------------------------------------------------------------------
+    # Inference API
+    # ------------------------------------------------------------------
+    def encode(
+        self,
+        trajectories: Sequence[TrajectoryLike],
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Embed trajectories with the trained backbone ``F``: ``(N, d)``.
+
+        This is the detached encoder of Fig. 2 — no projection head, per
+        standard contrastive-learning practice (the head is only for the
+        loss space).
+        """
+        was_training = self.encoder.training
+        self.encoder.eval()
+        chunks = []
+        with nn.no_grad():
+            for start in range(0, len(trajectories), batch_size):
+                batch = trajectories[start:start + batch_size]
+                chunks.append(self._embed_online(batch).data.copy())
+        if was_training:
+            self.encoder.train()
+        return np.concatenate(chunks, axis=0)
+
+    def distance_matrix(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Sequence[TrajectoryLike],
+    ) -> np.ndarray:
+        """L1 embedding distances ``(|Q|, |D|)`` — the paper's similarity."""
+        query_emb = self.encode(queries)
+        database_emb = self.encode(database)
+        return np.abs(query_emb[:, None, :] - database_emb[None, :, :]).sum(axis=2)

@@ -1,0 +1,34 @@
+"""``repro.datasets`` — synthetic city datasets and the §V evaluation protocol."""
+
+from .presets import CHENGDU, CITY_PRESETS, GERMANY, PORTO, XIAN, get_preset
+from .queries import (
+    QueryDatabase,
+    build_query_database,
+    distort,
+    downsample,
+    odd_even_split,
+    perturb_instance,
+)
+from .splits import DatasetSplits, downstream_split, partition
+from .synthetic import CityPreset, generate_city, generate_trajectory
+
+__all__ = [
+    "CityPreset",
+    "generate_city",
+    "generate_trajectory",
+    "CITY_PRESETS",
+    "PORTO",
+    "CHENGDU",
+    "XIAN",
+    "GERMANY",
+    "get_preset",
+    "odd_even_split",
+    "QueryDatabase",
+    "build_query_database",
+    "downsample",
+    "distort",
+    "perturb_instance",
+    "DatasetSplits",
+    "partition",
+    "downstream_split",
+]

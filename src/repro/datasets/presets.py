@@ -1,0 +1,80 @@
+"""Per-city generator presets calibrated to the paper's Table II.
+
+Calibration targets (paper Table II):
+
+===========  ============  ==================  ====================
+dataset      avg #points   avg length (km)     character
+===========  ============  ==================  ====================
+Porto        48            6.37                mid-density taxi city
+Chengdu      105           3.47                dense ride-hailing
+Xi'an        118           3.25                dense ride-hailing
+Germany      72            252.49              country-scale routes
+===========  ============  ==================  ====================
+
+``avg length / avg points`` fixes the point spacing; extents are scaled to
+reproduce the *density contrast* the paper discusses (Chengdu/Xi'an much
+denser than Porto; Germany extremely sparse), not the absolute city sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .synthetic import CityPreset
+
+PORTO = CityPreset(
+    name="porto",
+    extent=10_000.0,
+    block=500.0,
+    trip_length_mean=6_370.0,
+    trip_length_sigma=0.35,
+    point_spacing=133.0,   # 6370 m / 48 points
+    gps_noise=10.0,
+)
+
+CHENGDU = CityPreset(
+    name="chengdu",
+    extent=6_000.0,
+    block=400.0,
+    trip_length_mean=3_470.0,
+    trip_length_sigma=0.3,
+    point_spacing=33.0,    # 3470 m / 105 points
+    gps_noise=8.0,
+)
+
+XIAN = CityPreset(
+    name="xian",
+    extent=6_000.0,
+    block=400.0,
+    trip_length_mean=3_250.0,
+    trip_length_sigma=0.3,
+    point_spacing=27.5,    # 3250 m / 118 points
+    gps_noise=8.0,
+)
+
+GERMANY = CityPreset(
+    name="germany",
+    extent=800_000.0,
+    block=40_000.0,
+    trip_length_mean=252_490.0,
+    trip_length_sigma=0.45,
+    point_spacing=3_500.0,  # 252 km / 72 points
+    gps_noise=300.0,
+)
+
+CITY_PRESETS: Dict[str, CityPreset] = {
+    "porto": PORTO,
+    "chengdu": CHENGDU,
+    "xian": XIAN,
+    "germany": GERMANY,
+}
+
+
+def get_preset(name: str) -> CityPreset:
+    """Look up a city preset by name."""
+    try:
+        return CITY_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown city {name!r}; available: {sorted(CITY_PRESETS)}"
+        ) from None

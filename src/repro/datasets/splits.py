@@ -1,0 +1,75 @@
+"""Dataset partitioning per the paper's §V-A protocol.
+
+"Each dataset is randomly partitioned into four disjoint subsets:
+(1) ... for training, (2) a 10% subset for validation, (3) ... for testing,
+and (4) ... for downstream task experiments, which are further split by
+7:1:2 for training, validation, and testing."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trajectory.trajectory import TrajectoryLike
+
+
+@dataclass
+class DatasetSplits:
+    """The four disjoint §V-A subsets."""
+
+    train: List
+    validation: List
+    test: List
+    downstream: List
+
+
+def partition(
+    trajectories: Sequence[TrajectoryLike],
+    n_train: int,
+    n_test: int,
+    n_downstream: int,
+    validation_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> DatasetSplits:
+    """Randomly partition into disjoint train/validation/test/downstream sets.
+
+    ``validation_fraction`` is relative to ``n_train`` (the paper's "10%
+    subset"). Raises if the pool is too small for the requested sizes.
+    """
+    n_validation = int(round(n_train * validation_fraction))
+    total = n_train + n_validation + n_test + n_downstream
+    if total > len(trajectories):
+        raise ValueError(
+            f"requested {total} trajectories but pool has {len(trajectories)}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    order = rng.permutation(len(trajectories))
+
+    def take(count: int, offset: int) -> List:
+        return [trajectories[i] for i in order[offset:offset + count]]
+
+    return DatasetSplits(
+        train=take(n_train, 0),
+        validation=take(n_validation, n_train),
+        test=take(n_test, n_train + n_validation),
+        downstream=take(n_downstream, n_train + n_validation + n_test),
+    )
+
+
+def downstream_split(
+    trajectories: Sequence[TrajectoryLike],
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[List, List, List]:
+    """The 7:1:2 train/validation/test split of the downstream subset."""
+    rng = rng if rng is not None else np.random.default_rng()
+    order = rng.permutation(len(trajectories))
+    n = len(order)
+    n_train = int(round(0.7 * n))
+    n_val = int(round(0.1 * n))
+    train = [trajectories[i] for i in order[:n_train]]
+    validation = [trajectories[i] for i in order[n_train:n_train + n_val]]
+    test = [trajectories[i] for i in order[n_train + n_val:]]
+    return train, validation, test

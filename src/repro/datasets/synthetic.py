@@ -1,0 +1,131 @@
+"""Synthetic city trajectory generator — the dataset substrate.
+
+The paper evaluates on four real GPS datasets (Porto, Chengdu, Xi'an,
+Germany; Table II). Those datasets are not redistributable here and there
+is no network access, so this module provides the documented substitution
+(DESIGN.md §1): a **road-lattice random-walk generator** that reproduces the
+observable statistics the measures and models are sensitive to:
+
+* trajectories are sampled along a Manhattan-style road lattice, so
+  different trips share road segments (the property that makes similarity
+  search non-trivial — near-duplicate sub-paths exist);
+* per-city presets control spatial extent, road spacing, trip length,
+  point spacing and GPS noise, calibrated to Table II's
+  points-per-trajectory and trajectory-length statistics;
+* sampling is i.i.d. given a seed, so every experiment is reproducible.
+
+Vehicles pick an origin intersection, perform a turn-biased lattice walk to
+a target trip length, and the resulting polyline is resampled at the
+preset's GPS sampling interval with additive Gaussian noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..trajectory.preprocess import resample_to_length
+
+
+@dataclass(frozen=True)
+class CityPreset:
+    """Generator parameters for one synthetic city.
+
+    ``trip_length_*`` control total travelled metres; ``point_spacing`` is
+    the distance between consecutive GPS fixes (speed × sampling period);
+    together they determine points-per-trajectory, matching Table II.
+    """
+
+    name: str
+    #: square city extent (metres per side)
+    extent: float
+    #: road lattice spacing (metres between parallel roads)
+    block: float
+    #: mean trip length (metres)
+    trip_length_mean: float
+    #: trip length spread (lognormal sigma)
+    trip_length_sigma: float
+    #: metres between consecutive recorded points
+    point_spacing: float
+    #: GPS noise standard deviation (metres)
+    gps_noise: float
+    #: hard bounds on points per trajectory (paper filter: 20..200)
+    min_points: int = 20
+    max_points: int = 200
+
+    @property
+    def n_intersections(self) -> int:
+        return int(self.extent // self.block) + 1
+
+
+def _lattice_walk(
+    preset: CityPreset,
+    target_length: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A turn-biased walk over road intersections, as waypoints ``(K, 2)``."""
+    n = preset.n_intersections
+    col = int(rng.integers(0, n))
+    row = int(rng.integers(0, n))
+    waypoints = [(col, row)]
+    # Direction unit steps: E, N, W, S.
+    directions = [(1, 0), (0, 1), (-1, 0), (0, -1)]
+    heading = int(rng.integers(0, 4))
+    travelled = 0.0
+    while travelled < target_length:
+        # Mostly continue straight; sometimes turn left/right; rarely U-turn.
+        move = rng.choice([0, 1, 3, 2], p=[0.55, 0.2, 0.2, 0.05])
+        heading = (heading + move) % 4
+        dc, dr = directions[heading]
+        blocks = int(rng.integers(1, 4))
+        for _ in range(blocks):
+            nc, nr = col + dc, row + dr
+            if not (0 <= nc < n and 0 <= nr < n):
+                heading = (heading + 2) % 4  # bounce off the city border
+                dc, dr = directions[heading]
+                nc, nr = col + dc, row + dr
+                if not (0 <= nc < n and 0 <= nr < n):
+                    break
+            col, row = nc, nr
+            waypoints.append((col, row))
+            travelled += preset.block
+            if travelled >= target_length:
+                break
+    return np.asarray(waypoints, dtype=np.float64) * preset.block
+
+
+def generate_trajectory(
+    preset: CityPreset,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One synthetic trip: ``(N, 2)`` with ``min_points <= N <= max_points``."""
+    # mu chosen so the lognormal's *mean* (not median) is trip_length_mean
+    mu = np.log(preset.trip_length_mean) - preset.trip_length_sigma ** 2 / 2.0
+    target = float(rng.lognormal(mu, preset.trip_length_sigma))
+    target = max(target, preset.point_spacing * preset.min_points)
+    waypoints = _lattice_walk(preset, target, rng)
+    if len(waypoints) < 2:  # degenerate corner start; retry deterministically
+        return generate_trajectory(preset, rng)
+
+    route_length = float(
+        np.linalg.norm(np.diff(waypoints, axis=0), axis=1).sum()
+    )
+    n_points = int(route_length / preset.point_spacing) + 1
+    n_points = int(np.clip(n_points, preset.min_points, preset.max_points))
+    points = resample_to_length(waypoints, n_points)
+    points += rng.normal(0.0, preset.gps_noise, size=points.shape)
+    return points
+
+
+def generate_city(
+    preset: CityPreset,
+    n_trajectories: int,
+    seed: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Generate a full synthetic dataset for one city preset."""
+    if n_trajectories < 0:
+        raise ValueError("n_trajectories must be non-negative")
+    rng = np.random.default_rng(seed)
+    return [generate_trajectory(preset, rng) for _ in range(n_trajectories)]

@@ -1,0 +1,30 @@
+"""``repro.eval`` — metrics and shared experiment pipeline."""
+
+from .experiments import (
+    CityPipeline,
+    approximation_metrics,
+    build_city_pipeline,
+    distance_matrix_of,
+    evaluate_mean_rank,
+    format_table,
+    make_instance,
+)
+from .hitratio import hit_ratio, recall_n_at_m
+from .ranking import mean_rank, ranks_of_truth
+from .timing import Stopwatch, time_callable
+
+__all__ = [
+    "ranks_of_truth",
+    "mean_rank",
+    "hit_ratio",
+    "recall_n_at_m",
+    "Stopwatch",
+    "time_callable",
+    "CityPipeline",
+    "build_city_pipeline",
+    "distance_matrix_of",
+    "evaluate_mean_rank",
+    "make_instance",
+    "approximation_metrics",
+    "format_table",
+]

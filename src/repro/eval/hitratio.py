@@ -1,0 +1,66 @@
+"""Hit-ratio metrics for heuristic approximation (paper §V-F, Table X).
+
+``HR@k``: fraction of the ground-truth top-k (under the heuristic measure)
+recovered in the predicted top-k. ``R5@20``: recall of the true top-5
+within the predicted top-20.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _top_k_indices(distance_matrix: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k smallest entries per row, ``(Q, k)``."""
+    k = min(k, distance_matrix.shape[1])
+    part = np.argpartition(distance_matrix, k - 1, axis=1)[:, :k]
+    rows = np.arange(len(distance_matrix))[:, None]
+    order = np.argsort(distance_matrix[rows, part], axis=1)
+    return part[rows, order]
+
+
+def hit_ratio(
+    predicted: np.ndarray,
+    truth: np.ndarray,
+    k: int,
+) -> float:
+    """HR@k between predicted and ground-truth distance matrices."""
+    predicted, truth = _validate(predicted, truth)
+    predicted_top = _top_k_indices(predicted, k)
+    truth_top = _top_k_indices(truth, k)
+    hits = sum(
+        len(set(predicted_top[i]) & set(truth_top[i]))
+        for i in range(len(predicted))
+    )
+    return hits / truth_top.size
+
+
+def recall_n_at_m(
+    predicted: np.ndarray,
+    truth: np.ndarray,
+    n: int = 5,
+    m: int = 20,
+) -> float:
+    """R{n}@{m}: recall of the true top-n inside the predicted top-m."""
+    if n > m:
+        raise ValueError("n must not exceed m")
+    predicted, truth = _validate(predicted, truth)
+    predicted_top = _top_k_indices(predicted, m)
+    truth_top = _top_k_indices(truth, n)
+    hits = sum(
+        len(set(predicted_top[i]) & set(truth_top[i]))
+        for i in range(len(predicted))
+    )
+    return hits / truth_top.size
+
+
+def _validate(predicted: np.ndarray, truth: np.ndarray):
+    predicted = np.asarray(predicted, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if predicted.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs truth {truth.shape}"
+        )
+    if predicted.ndim != 2:
+        raise ValueError("distance matrices must be 2-D")
+    return predicted, truth

@@ -1,0 +1,36 @@
+"""Mean-rank evaluation — the paper's §V-B accuracy metric.
+
+For every query, the measure ranks the whole database by similarity; the
+rank of the known ground-truth match (the even-point half of the query's
+source trajectory) is recorded. A perfect measure achieves mean rank 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ranks_of_truth(distance_matrix: np.ndarray, ground_truth: Sequence[int]) -> np.ndarray:
+    """1-based rank of each query's ground-truth entry.
+
+    Ties are counted pessimistically (a tie with the truth pushes its rank
+    down), making the metric conservative.
+    """
+    distance_matrix = np.asarray(distance_matrix, dtype=np.float64)
+    ground_truth = np.asarray(ground_truth, dtype=np.int64)
+    if distance_matrix.ndim != 2:
+        raise ValueError("distance_matrix must be 2-D")
+    if len(ground_truth) != len(distance_matrix):
+        raise ValueError("one ground-truth index required per query")
+    rows = np.arange(len(distance_matrix))
+    truth_distances = distance_matrix[rows, ground_truth]
+    better = (distance_matrix < truth_distances[:, None]).sum(axis=1)
+    ties = (distance_matrix == truth_distances[:, None]).sum(axis=1) - 1
+    return better + ties + 1
+
+
+def mean_rank(distance_matrix: np.ndarray, ground_truth: Sequence[int]) -> float:
+    """Mean 1-based rank of the ground-truth entries (paper Tables III–VI)."""
+    return float(ranks_of_truth(distance_matrix, ground_truth).mean())

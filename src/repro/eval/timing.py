@@ -1,0 +1,42 @@
+"""Wall-clock measurement helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timings (seconds) across a benchmark run."""
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.records.setdefault(name, []).append(time.perf_counter() - start)
+
+    def total(self, name: str) -> float:
+        return float(sum(self.records.get(name, [])))
+
+    def mean(self, name: str) -> float:
+        values = self.records.get(name, [])
+        return float(sum(values) / len(values)) if values else float("nan")
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,14 @@
+"""``repro.graph`` — grid-cell graph and node2vec embedding substrate."""
+
+from .grid_graph import GridGraph
+from .node2vec import node2vec_embeddings
+from .skipgram import SkipGramModel, build_training_pairs
+from .walks import generate_walks
+
+__all__ = [
+    "GridGraph",
+    "generate_walks",
+    "SkipGramModel",
+    "build_training_pairs",
+    "node2vec_embeddings",
+]

@@ -1,0 +1,142 @@
+"""Skip-gram with negative sampling (SGNS) over random-walk corpora.
+
+This is the word2vec-style objective node2vec optimizes: for every
+(center, context) pair within a window of a walk, raise
+``σ(u_center · v_context)`` while lowering ``σ(u_center · v_negative)`` for
+``k`` sampled negatives. Gradients are hand-coded numpy (this substrate
+does not need the autodiff engine and trains orders of magnitude faster
+without tape overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def build_training_pairs(walks: np.ndarray, window: int = 5) -> np.ndarray:
+    """Extract all (center, context) pairs within ``window`` of each other."""
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    _n_walks, length = walks.shape
+    pairs = []
+    for offset in range(1, min(window, length - 1) + 1):
+        centers = walks[:, :-offset].reshape(-1)
+        contexts = walks[:, offset:].reshape(-1)
+        pairs.append(np.stack([centers, contexts], axis=1))
+        pairs.append(np.stack([contexts, centers], axis=1))
+    return np.concatenate(pairs, axis=0)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class SkipGramModel:
+    """Two-matrix SGNS model: input (center) and output (context) tables."""
+
+    def __init__(self, n_nodes: int, dim: int, rng: Optional[np.random.Generator] = None):
+        rng = rng if rng is not None else np.random.default_rng()
+        self.n_nodes = n_nodes
+        self.dim = dim
+        limit = 0.5 / dim
+        self.w_in = rng.uniform(-limit, limit, size=(n_nodes, dim))
+        self.w_out = np.zeros((n_nodes, dim))
+
+    def train(
+        self,
+        pairs: np.ndarray,
+        epochs: int = 3,
+        batch_size: int = 512,
+        negatives: int = 5,
+        lr: float = 0.025,
+        noise_distribution: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> list:
+        """Mini-batch SGNS training with linear lr decay.
+
+        Returns per-epoch mean losses. Batches should stay small relative
+        to the vocabulary: scatter updates within one batch are applied at
+        the same parameter point, so a node occurring many times in one
+        batch takes one large step (word2vec applies them sequentially).
+        """
+        if negatives < 1:
+            raise ValueError("need at least one negative sample")
+        rng = rng if rng is not None else np.random.default_rng()
+        if noise_distribution is None:
+            counts = np.bincount(pairs[:, 0], minlength=self.n_nodes).astype(np.float64)
+            noise = counts ** 0.75
+            noise_distribution = noise / noise.sum()
+
+        losses = []
+        n_pairs = len(pairs)
+        total_batches = max(1, epochs * int(np.ceil(n_pairs / batch_size)))
+        batch_index = 0
+        for _epoch in range(epochs):
+            order = rng.permutation(n_pairs)
+            epoch_loss = 0.0
+            for start in range(0, n_pairs, batch_size):
+                # Linear decay to 10% of the initial rate, as in word2vec.
+                current_lr = lr * max(0.1, 1.0 - batch_index / total_batches)
+                batch_index += 1
+                batch = pairs[order[start:start + batch_size]]
+                centers, contexts = batch[:, 0], batch[:, 1]
+                neg = rng.choice(self.n_nodes, size=(len(batch), negatives),
+                                 p=noise_distribution)
+
+                center_vecs = self.w_in[centers]                    # (B, d)
+                context_vecs = self.w_out[contexts]                 # (B, d)
+                neg_vecs = self.w_out[neg]                          # (B, k, d)
+
+                pos_score = _sigmoid((center_vecs * context_vecs).sum(axis=1))
+                neg_score = _sigmoid(np.einsum("bd,bkd->bk", center_vecs, neg_vecs))
+
+                epoch_loss += float(
+                    -(np.log(pos_score + 1e-10).sum()
+                      + np.log(1.0 - neg_score + 1e-10).sum())
+                )
+
+                # Gradients of the SGNS objective.
+                pos_coeff = (pos_score - 1.0)[:, None]              # (B, 1)
+                neg_coeff = neg_score[:, :, None]                   # (B, k, 1)
+
+                grad_center = pos_coeff * context_vecs + np.einsum(
+                    "bkd->bd", neg_coeff * neg_vecs
+                )
+                grad_context = pos_coeff * center_vecs
+                grad_neg = neg_coeff * center_vecs[:, None, :]
+
+                self._apply(self.w_in, centers, grad_center, current_lr)
+                rows_out = np.concatenate([contexts, neg.reshape(-1)])
+                grads_out = np.concatenate(
+                    [grad_context, grad_neg.reshape(-1, self.dim)], axis=0
+                )
+                self._apply(self.w_out, rows_out, grads_out, current_lr)
+            losses.append(epoch_loss / n_pairs)
+        return losses
+
+    #: maximum L2 displacement of any embedding row per batch (trust region)
+    MAX_ROW_STEP = 0.25
+
+    def _apply(self, table: np.ndarray, rows: np.ndarray, grads: np.ndarray,
+               lr: float) -> None:
+        """Scatter-update with a per-row trust region.
+
+        When the vocabulary is tiny relative to the batch, one node can
+        accumulate dozens of per-pair gradients that word2vec would have
+        applied sequentially; clipping the accumulated step per row keeps
+        the batched update stable without affecting the sparse large-
+        vocabulary regime (steps there are far below the cap).
+        """
+        accumulated = np.zeros_like(table)
+        np.add.at(accumulated, rows, grads)
+        step = lr * accumulated
+        norms = np.linalg.norm(step, axis=1, keepdims=True)
+        scale = np.minimum(1.0, self.MAX_ROW_STEP / np.maximum(norms, 1e-12))
+        table -= step * scale
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """The learned node embeddings (input table, word2vec convention)."""
+        return self.w_in

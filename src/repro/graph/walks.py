@@ -1,0 +1,94 @@
+"""node2vec biased second-order random walks (Grover & Leskovec, 2016).
+
+The walk from node ``t`` to ``v`` chooses the next node ``x`` with
+unnormalized weight
+
+* ``1/p``  if ``x == t``             (return),
+* ``1``    if ``x`` is adjacent to ``t`` (BFS-like stay-close move),
+* ``1/q``  otherwise                 (DFS-like move-away move).
+
+On the grid graph adjacency is decidable arithmetically, so all walks are
+advanced simultaneously with numpy instead of per-edge alias tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .grid_graph import GridGraph
+
+
+def generate_walks(
+    graph: GridGraph,
+    num_walks: int = 10,
+    walk_length: int = 20,
+    p: float = 1.0,
+    q: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    start_nodes: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sample ``num_walks`` walks from every start node.
+
+    Returns an int array ``(num_walks * len(start_nodes), walk_length)``.
+    ``start_nodes`` defaults to every node of the graph.
+    """
+    if walk_length < 2:
+        raise ValueError("walk_length must be at least 2")
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    if start_nodes is None:
+        start_nodes = np.arange(graph.n_nodes, dtype=np.int64)
+    starts = np.tile(np.asarray(start_nodes, dtype=np.int64), num_walks)
+    n_walks = len(starts)
+
+    walks = np.empty((n_walks, walk_length), dtype=np.int64)
+    walks[:, 0] = starts
+
+    # First step: uniform over neighbours (no previous node yet).
+    walks[:, 1] = _uniform_step(graph, starts, rng)
+
+    for step in range(2, walk_length):
+        previous = walks[:, step - 2]
+        current = walks[:, step - 1]
+        walks[:, step] = _biased_step(graph, previous, current, p, q, rng)
+    return walks
+
+
+def _uniform_step(graph: GridGraph, current: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    neighbors = graph.neighbors_padded[current]              # (W, 8)
+    degrees = graph.degrees[current]                         # (W,)
+    choice = (rng.random(len(current)) * degrees).astype(np.int64)
+    return neighbors[np.arange(len(current)), choice]
+
+
+def _biased_step(
+    graph: GridGraph,
+    previous: np.ndarray,
+    current: np.ndarray,
+    p: float,
+    q: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    neighbors = graph.neighbors_padded[current]              # (W, 8)
+    valid = neighbors != GridGraph.PAD
+
+    weights = np.full(neighbors.shape, 1.0 / q)
+    # Stay-close moves: candidate adjacent to the previous node.
+    safe_neighbors = np.where(valid, neighbors, 0)
+    close = graph.are_adjacent(safe_neighbors, previous[:, None])
+    weights[close] = 1.0
+    # Return moves.
+    returning = safe_neighbors == previous[:, None]
+    weights[returning] = 1.0 / p
+    weights[~valid] = 0.0
+
+    cumulative = np.cumsum(weights, axis=1)
+    totals = cumulative[:, -1]
+    draws = rng.random(len(current)) * totals
+    choice = (cumulative < draws[:, None]).sum(axis=1)
+    choice = np.minimum(choice, neighbors.shape[1] - 1)
+    return neighbors[np.arange(len(current)), choice]

@@ -1,0 +1,16 @@
+"""``repro.index`` — kNN indexes: brute force, IVFFlat (Faiss stand-in),
+and the segment-based Hausdorff index (DFT stand-in)."""
+
+from .bruteforce import BruteForceIndex, pairwise_distances
+from .ivf import IVFFlatIndex
+from .kmeans import kmeans, kmeans_plus_plus_init
+from .segment import SegmentHausdorffIndex
+
+__all__ = [
+    "BruteForceIndex",
+    "pairwise_distances",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "IVFFlatIndex",
+    "SegmentHausdorffIndex",
+]

@@ -1,0 +1,120 @@
+"""IVFFlat — inverted-file vector index (the Faiss stand-in).
+
+The paper indexes TrajCL embeddings with Faiss, "a widely used library for
+similarity queries over dense vectors based on a Voronoi diagram" (§V-E).
+IVFFlat is exactly that structure: a k-means coarse quantizer partitions
+the space into ``n_lists`` Voronoi cells; each database vector is stored in
+the inverted list of its nearest centre; a query scans only the ``n_probe``
+closest lists. Recall/latency trades off through ``n_probe``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .bruteforce import pairwise_distances
+from .kmeans import kmeans
+
+
+class IVFFlatIndex:
+    """Voronoi-partitioned inverted lists over embedding vectors."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_lists: int = 16,
+        metric: str = "l1",
+        n_probe: int = 4,
+    ):
+        if metric not in ("l1", "l2"):
+            raise ValueError("metric must be 'l1' or 'l2'")
+        if n_lists < 1:
+            raise ValueError("n_lists must be positive")
+        self.dim = dim
+        self.metric = metric
+        self.n_lists = n_lists
+        self.n_probe = max(1, min(n_probe, n_lists))
+        self.centers: Optional[np.ndarray] = None
+        self._lists: list = []
+        self._ids: list = []
+        self._trained = False
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def train(self, vectors: np.ndarray, rng: Optional[np.random.Generator] = None) -> None:
+        """Fit the coarse quantizer (k-means over a training sample)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if len(vectors) < self.n_lists:
+            raise ValueError(
+                f"need at least n_lists={self.n_lists} training vectors"
+            )
+        self.centers, _ = kmeans(vectors, self.n_lists, rng=rng)
+        self._lists = [np.empty((0, self.dim)) for _ in range(self.n_lists)]
+        self._ids = [np.empty(0, dtype=np.int64) for _ in range(self.n_lists)]
+        self._trained = True
+
+    def add(self, vectors: np.ndarray) -> None:
+        """Assign vectors to their Voronoi cells' inverted lists."""
+        if not self._trained:
+            raise RuntimeError("index must be trained before adding vectors")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (*, {self.dim}) vectors")
+        assignment = pairwise_distances(vectors, self.centers, self.metric).argmin(axis=1)
+        ids = np.arange(self._size, self._size + len(vectors))
+        for cell in np.unique(assignment):
+            members = assignment == cell
+            self._lists[cell] = np.concatenate([self._lists[cell], vectors[members]])
+            self._ids[cell] = np.concatenate([self._ids[cell], ids[members]])
+        self._size += len(vectors)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate resident size (vectors + ids + centres)."""
+        vectors = sum(lst.nbytes for lst in self._lists)
+        ids = sum(ids.nbytes for ids in self._ids)
+        centers = self.centers.nbytes if self.centers is not None else 0
+        return vectors + ids + centers
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int,
+               n_probe: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """kNN over the ``n_probe`` nearest Voronoi cells per query.
+
+        Returns ``(distances, indices)`` padded with ``inf``/``-1`` when a
+        query's probed lists hold fewer than ``k`` vectors.
+        """
+        if not self._trained or self._size == 0:
+            raise RuntimeError("index is empty")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        probe = max(1, min(n_probe if n_probe is not None else self.n_probe,
+                           self.n_lists))
+        center_distances = pairwise_distances(queries, self.centers, self.metric)
+        probed = np.argsort(center_distances, axis=1)[:, :probe]
+
+        out_distances = np.full((len(queries), k), np.inf)
+        out_indices = np.full((len(queries), k), -1, dtype=np.int64)
+        for row, cells in enumerate(probed):
+            candidate_vectors = np.concatenate([self._lists[c] for c in cells])
+            candidate_ids = np.concatenate([self._ids[c] for c in cells])
+            if len(candidate_vectors) == 0:
+                continue
+            distances = pairwise_distances(
+                queries[row:row + 1], candidate_vectors, self.metric
+            )[0]
+            take = min(k, len(distances))
+            top = np.argpartition(distances, take - 1)[:take]
+            order = np.argsort(distances[top])
+            chosen = top[order]
+            out_distances[row, :take] = distances[chosen]
+            out_indices[row, :take] = candidate_ids[chosen]
+        return out_distances, out_indices

@@ -1,0 +1,75 @@
+"""Lloyd's k-means with k-means++ seeding — the IVF coarse quantizer.
+
+Faiss's IVF index partitions the vector space with a k-means Voronoi
+diagram; this module provides that quantizer for
+:class:`repro.index.ivf.IVFFlatIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def kmeans_plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centres by D² sampling."""
+    n = len(data)
+    centers = np.empty((k, data.shape[1]))
+    centers[0] = data[rng.integers(0, n)]
+    closest_sq = ((data - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 1e-18:  # all points identical to chosen centres
+            centers[i:] = centers[0]
+            break
+        probabilities = closest_sq / total
+        centers[i] = data[rng.choice(n, p=probabilities)]
+        dist_sq = ((data - centers[i]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centers
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    iterations: int = 25,
+    rng: Optional[np.random.Generator] = None,
+    tolerance: float = 1e-6,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster ``data`` into ``k`` centres; returns ``(centers, assignment)``.
+
+    Empty clusters are re-seeded with the point farthest from its centre.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D")
+    if not 1 <= k <= len(data):
+        raise ValueError(f"k must be in [1, {len(data)}], got {k}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    centers = kmeans_plus_plus_init(data, k, rng)
+    assignment = np.zeros(len(data), dtype=np.int64)
+    for _iteration in range(iterations):
+        # Assignment step (squared Euclidean, expanded form).
+        distances = (
+            (data ** 2).sum(axis=1)[:, None]
+            - 2.0 * data @ centers.T
+            + (centers ** 2).sum(axis=1)[None, :]
+        )
+        assignment = distances.argmin(axis=1)
+        moved = 0.0
+        for j in range(k):
+            members = data[assignment == j]
+            if len(members) == 0:
+                farthest = distances.min(axis=1).argmax()
+                new_center = data[farthest]
+            else:
+                new_center = members.mean(axis=0)
+            moved = max(moved, float(np.abs(new_center - centers[j]).max()))
+            centers[j] = new_center
+        if moved < tolerance:
+            break
+    return centers, assignment

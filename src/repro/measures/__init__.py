@@ -1,0 +1,33 @@
+"""``repro.measures`` — heuristic trajectory similarity measures.
+
+The four heuristics evaluated in the paper: Hausdorff, discrete Fréchet,
+EDR and EDwP, behind a common :class:`TrajectorySimilarityMeasure`
+interface with a string registry used by the benchmarks
+(``get_measure("hausdorff")`` etc.).
+"""
+
+from .base import (
+    TrajectorySimilarityMeasure,
+    available_measures,
+    get_measure,
+    register_measure,
+)
+from .edr import EDR, edr_distance
+from .edwp import EDwP, edwp_distance
+from .frechet import Frechet, frechet_distance
+from .hausdorff import Hausdorff, hausdorff_distance
+
+__all__ = [
+    "TrajectorySimilarityMeasure",
+    "register_measure",
+    "get_measure",
+    "available_measures",
+    "Hausdorff",
+    "hausdorff_distance",
+    "Frechet",
+    "frechet_distance",
+    "EDR",
+    "edr_distance",
+    "EDwP",
+    "edwp_distance",
+]

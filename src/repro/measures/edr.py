@@ -1,0 +1,94 @@
+"""EDR — Edit Distance on Real sequence (Chen, Özsu & Oria, SIGMOD 2005).
+
+Counts the minimum number of edit operations (insert / delete / substitute)
+needed to align two trajectories, where two points *match* (substitution
+cost 0) iff they are within a tolerance ε of each other:
+
+    subcost(p, q) = 0 if d(p, q) <= eps else 1
+    EDR(i, j) = min( EDR(i-1, j-1) + subcost, EDR(i-1, j) + 1, EDR(i, j-1) + 1 )
+
+EDR is integer-valued and highly sensitive to the choice of ε and to
+sampling-rate differences — the behaviour visible in the paper's Tables
+III–V, where EDR degrades fastest among the heuristics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from ..trajectory import TrajectoryLike, as_points
+from .base import TrajectorySimilarityMeasure, register_measure
+
+#: Default match tolerance in the coordinate unit (metres here). Studies on
+#: the taxi datasets conventionally use around 100 m ≈ the grid cell size.
+DEFAULT_EPSILON = 100.0
+
+
+def edr_distance_reference(
+    a: TrajectoryLike, b: TrajectoryLike, epsilon: float = DEFAULT_EPSILON
+) -> float:
+    """Textbook double-loop EDR; kept as the oracle for the vectorized path."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    pa, pb = as_points(a), as_points(b)
+    n, m = len(pa), len(pb)
+    mismatch = (cdist(pa, pb) > epsilon).astype(np.float64)
+
+    previous = np.arange(m + 1, dtype=np.float64)  # EDR(0, j) = j
+    current = np.empty(m + 1, dtype=np.float64)
+    for i in range(1, n + 1):
+        current[0] = i  # EDR(i, 0) = i
+        row = mismatch[i - 1]
+        for j in range(1, m + 1):
+            current[j] = min(
+                previous[j - 1] + row[j - 1],  # substitute / match
+                previous[j] + 1.0,             # delete from a
+                current[j - 1] + 1.0,          # insert into a
+            )
+        previous, current = current, previous
+    return float(previous[m])
+
+
+def edr_distance(a: TrajectoryLike, b: TrajectoryLike, epsilon: float = DEFAULT_EPSILON) -> float:
+    """Edit distance on real sequences with tolerance ``epsilon``.
+
+    Row-vectorized DP: within a row, only the insert move depends on the
+    left neighbour, and since every insert costs exactly 1 the dependency
+    ``cur[j] = min(vec[j], cur[j-1] + 1)`` unrolls into a running minimum,
+    ``cur[j] = j + min_{k<=j}(vec[k] - k)``, computed with
+    ``numpy.minimum.accumulate`` — identical results to the double loop at
+    a fraction of the Python-interpreter cost.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    pa, pb = as_points(a), as_points(b)
+    n, m = len(pa), len(pb)
+    mismatch = (cdist(pa, pb) > epsilon).astype(np.float64)
+
+    js = np.arange(m + 1, dtype=np.float64)
+    previous = js.copy()                      # EDR(0, j) = j
+    for i in range(1, n + 1):
+        vec = np.empty(m + 1)
+        vec[0] = i                            # EDR(i, 0) = i
+        # substitute/match and delete moves (no intra-row dependency)
+        vec[1:] = np.minimum(previous[:-1] + mismatch[i - 1], previous[1:] + 1.0)
+        # insert moves: running-minimum unroll of cur[j-1] + 1
+        previous = js + np.minimum.accumulate(vec - js)
+    return float(previous[m])
+
+
+@register_measure("edr")
+class EDR(TrajectorySimilarityMeasure):
+    """Registry wrapper for :func:`edr_distance` with configurable ε."""
+
+    def __init__(self, epsilon: float = DEFAULT_EPSILON):
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+
+    def distance(self, a: TrajectoryLike, b: TrajectoryLike) -> float:
+        return edr_distance(a, b, epsilon=self.epsilon)
+
+    def __repr__(self) -> str:
+        return f"EDR(epsilon={self.epsilon})"

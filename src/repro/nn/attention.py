@@ -1,0 +1,158 @@
+"""Vanilla multi-head self-attention (MSM) and transformer encoder stacks.
+
+This is the standard scaled-dot-product attention of Vaswani et al. (2017).
+In this reproduction it serves three roles:
+
+* the **spatial branch** inside TrajCL's DualMSM (paper §IV-C, bottom-right
+  of Fig. 4) is a stacked vanilla encoder over the spatial features ``S``;
+* the **ablation variants** TrajCL-MSM and TrajCL-concat (paper §V-G) use it
+  as the whole backbone;
+* the baselines **CSTRM** and **T3S** use it directly.
+
+Attention coefficient matrices are returned alongside outputs because
+DualMSM combines the structural and spatial coefficient matrices
+(Eq. 15: ``C_ts = (A_t + γ A_s) V_t``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, FeedForward, LayerNorm, Linear
+from .module import Module, ModuleList
+from .tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads.
+
+    Input/output shape ``(B, L, dim)``. ``dim`` must be divisible by
+    ``num_heads``. A boolean key padding mask ``(B, L)`` (True = padded)
+    excludes padded positions from every softmax.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim={dim} not divisible by num_heads={num_heads}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.w_query = Linear(dim, dim, bias=False, rng=rng)
+        self.w_key = Linear(dim, dim, bias=False, rng=rng)
+        self.w_value = Linear(dim, dim, bias=False, rng=rng)
+        self.w_out = Linear(dim, dim, bias=False, rng=rng)
+        self.attn_drop = Dropout(dropout, rng=rng)
+
+    def split_heads(self, x: Tensor) -> Tensor:
+        """``(B, L, D) -> (B, H, L, D/H)``."""
+        batch, seq_len, _ = x.shape
+        return x.reshape(batch, seq_len, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def merge_heads(self, x: Tensor) -> Tensor:
+        """``(B, H, L, D/H) -> (B, L, D)``."""
+        batch, _, seq_len, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.dim)
+
+    def attention_weights(
+        self,
+        query: Tensor,
+        key: Tensor,
+        key_padding_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Softmax attention coefficients ``(B, H, L, L)`` (Eq. 12)."""
+        logits = (query @ key.swapaxes(-1, -2)) * self.scale
+        bias = F.attention_mask_bias(key_padding_mask, self.num_heads)
+        if bias is not None:
+            logits = logits + bias
+        return F.softmax(logits, axis=-1)
+
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Return ``(output, attention)`` with shapes ``(B, L, D)``, ``(B, H, L, L)``."""
+        query = self.split_heads(self.w_query(x))
+        key = self.split_heads(self.w_key(x))
+        value = self.split_heads(self.w_value(x))
+        attn = self.attention_weights(query, key, key_padding_mask)
+        context = self.attn_drop(attn) @ value
+        return self.w_out(self.merge_heads(context)), attn
+
+
+class TransformerEncoderLayer(Module):
+    """Post-norm transformer block: MSM → Add&LN → MLP → Add&LN (Eq. 10–11)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.attn = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, hidden_dim=ffn_dim, dropout=dropout, rng=rng)
+        self.drop1 = Dropout(dropout, rng=rng)
+        self.drop2 = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        attn_out, attn = self.attn(x, key_padding_mask=key_padding_mask)
+        x = self.norm1(x + self.drop1(attn_out))
+        x = self.norm2(x + self.drop2(self.ffn(x)))
+        return x, attn
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer`.
+
+    ``forward`` returns the final hidden states and the attention
+    coefficients of the **last** layer — the paper specifies that DualMSM
+    uses ``A_s`` "of the last stacked layer" when fusing with ``A_t``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        num_layers: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.layers = ModuleList(
+            TransformerEncoderLayer(dim, num_heads, ffn_dim=ffn_dim, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        )
+
+    def forward(
+        self,
+        x: Tensor,
+        key_padding_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        attn = None
+        for layer in self.layers:
+            x, attn = layer(x, key_padding_mask=key_padding_mask)
+        return x, attn

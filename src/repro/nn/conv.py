@@ -1,0 +1,139 @@
+"""2-D convolution and pooling for the TrjSR baseline.
+
+TrjSR (Cao et al., 2021) rasterizes trajectories into images and learns
+embeddings with a CNN (single-image super-resolution style). Reproducing it
+requires a convolution substrate; this module provides fused Conv2d /
+MaxPool2d ops over the autodiff tensor with hand-derived backward rules
+(im2col-style forward via ``sliding_window_view`` + einsum; scatter-add
+backward over kernel offsets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+class Conv2d(Module):
+    """2-D cross-correlation over ``(B, C_in, H, W)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kh, kw), rng)
+        )
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = self.weight
+        bias = self.bias
+        (kh, kw), (sh, sw), (ph, pw) = self.kernel_size, self.stride, self.padding
+
+        padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        # (B, C, OH, OW, KH, KW) view over the padded input.
+        windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+        out = np.einsum("bcijkl,ockl->boij", windows, weight.data, optimize=True)
+        if bias is not None:
+            out = out + bias.data[None, :, None, None]
+        out_h, out_w = out.shape[2], out.shape[3]
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if weight.requires_grad:
+                grad_w = np.einsum("boij,bcijkl->ockl", grad, windows, optimize=True)
+                weight._accumulate(grad_w)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if x.requires_grad:
+                grad_padded = np.zeros_like(padded)
+                for i in range(kh):
+                    for j in range(kw):
+                        # contribution of kernel offset (i, j) to each input pixel
+                        patch = np.einsum(
+                            "boij,oc->bcij", grad, weight.data[:, :, i, j], optimize=True
+                        )
+                        grad_padded[
+                            :, :, i:i + out_h * sh:sh, j:j + out_w * sw:sw
+                        ] += patch
+                if ph or pw:
+                    grad_x = grad_padded[
+                        :, :, ph:grad_padded.shape[2] - ph, pw:grad_padded.shape[3] - pw
+                    ]
+                else:
+                    grad_x = grad_padded
+                x._accumulate(grad_x)
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        return Tensor._make(out, parents, backward_fn)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows (stride defaults to kernel size)."""
+
+    def __init__(self, kernel_size, stride=None):
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        (kh, kw), (sh, sw) = self.kernel_size, self.stride
+        windows = sliding_window_view(x.data, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+        out = windows.max(axis=(4, 5))
+        batch, channels, out_h, out_w = out.shape
+
+        # argmax per window, for backward routing
+        flat = windows.reshape(batch, channels, out_h, out_w, kh * kw)
+        arg = flat.argmax(axis=-1)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            grad_x = np.zeros_like(x.data)
+            ki, kj = np.unravel_index(arg, (kh, kw))
+            b_idx, c_idx, i_idx, j_idx = np.indices(arg.shape)
+            rows = i_idx * sh + ki
+            cols = j_idx * sw + kj
+            np.add.at(grad_x, (b_idx, c_idx, rows, cols), grad)
+            x._accumulate(grad_x)
+
+        return Tensor._make(out, (x,), backward_fn)
+
+
+class AdaptiveAvgPool2d(Module):
+    """Global average pooling to 1×1 (used as TrjSR's embedding head)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

@@ -1,0 +1,194 @@
+"""Stateless differentiable functions built on :mod:`repro.nn.tensor`.
+
+These are the fused composites the TrajCL models use in their forward
+passes: numerically-stable softmax / log-softmax, layer normalization,
+dropout, pooling, and the embedding-space distance functions from the paper
+(L1 distance for similarity ranking, cosine similarity inside InfoNCE).
+
+Fused implementations (a single tape node with a hand-derived backward rule)
+are used where the composite appears inside attention inner loops; they cut
+Python-level graph overhead substantially relative to composing primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (fused forward/backward).
+
+    Backward uses the Jacobian-vector product
+    ``ds = s * (g - sum(g * s, axis))`` which avoids materializing the full
+    Jacobian.
+    """
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (grad * out).sum(axis=axis, keepdims=True)
+            x._accumulate(out * (grad - dot))
+
+    return Tensor._make(out, (x,), backward_fn)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_norm
+    soft = np.exp(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward_fn)
+
+
+def layer_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Layer normalization over the last axis with affine parameters.
+
+    Implements Ba et al. (2016) as used after every attention and MLP block
+    in the DualSTB encoder (paper Eq. 10–11).
+    """
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normed = (x.data - mean) * inv_std
+    out = normed * gamma.data + beta.data
+    dim = x.data.shape[-1]
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma._accumulate(_unbroadcast(grad * normed, gamma.shape))
+        if beta.requires_grad:
+            beta._accumulate(_unbroadcast(grad, beta.shape))
+        if x.requires_grad:
+            g = grad * gamma.data
+            # Standard layer-norm backward:
+            # dx = inv_std * (g - mean(g) - normed * mean(g * normed))
+            g_mean = g.mean(axis=-1, keepdims=True)
+            gn_mean = (g * normed).mean(axis=-1, keepdims=True)
+            x._accumulate(inv_std * (g - g_mean - normed * gn_mean))
+
+    _ = dim  # dim retained for clarity; means above already divide by it
+    return Tensor._make(out, (x, gamma, beta), backward_fn)
+
+
+def dropout(
+    x: Tensor,
+    p: float,
+    training: bool,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout: zero activations w.p. ``p`` and rescale by 1/(1-p)."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward_fn)
+
+
+def mean_pool(x: Tensor, lengths: Optional[np.ndarray] = None) -> Tensor:
+    """Average pooling over the sequence axis of a ``(B, L, D)`` tensor.
+
+    When ``lengths`` is given, padded positions (index >= length) are
+    excluded, which is how DualSTB pools variable-length trajectories into a
+    single embedding (paper §IV-C: "average pooling on H_ts").
+    """
+    if x.ndim != 3:
+        raise ValueError(f"mean_pool expects (B, L, D), got shape {x.shape}")
+    batch, seq_len, _dim = x.shape
+    if lengths is None:
+        return x.mean(axis=1)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape != (batch,):
+        raise ValueError("lengths must have shape (batch,)")
+    mask = (np.arange(seq_len)[None, :] < lengths[:, None]).astype(x.dtype)
+    denom = np.maximum(lengths, 1).astype(x.dtype)[:, None]
+    out = (x.data * mask[:, :, None]).sum(axis=1) / denom
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad[:, None, :] * mask[:, :, None] / denom[:, None, :])
+
+    return Tensor._make(out, (x,), backward_fn)
+
+
+def l1_distance(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise L1 distance between two ``(N, D)`` embedding matrices.
+
+    This is the embedding-space trajectory distance used throughout the
+    paper's evaluation ("we use the L1 distance in the experiments").
+    """
+    return (a - b).abs().sum(axis=-1)
+
+
+def l2_distance(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise Euclidean distance between two ``(N, D)`` matrices."""
+    return (((a - b) ** 2).sum(axis=-1) + 1e-12).sqrt()
+
+
+def cosine_similarity(a: Tensor, b: Tensor, eps: float = 1e-8) -> Tensor:
+    """Row-wise cosine similarity, the ``sim`` of the InfoNCE loss (Eq. 2)."""
+    dot = (a * b).sum(axis=-1)
+    norm_a = ((a ** 2).sum(axis=-1) + eps).sqrt()
+    norm_b = ((b ** 2).sum(axis=-1) + eps).sqrt()
+    return dot / (norm_a * norm_b)
+
+
+def normalize(x: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
+    """L2-normalize along ``axis`` (used before queueing MoCo negatives)."""
+    norm = ((x ** 2).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def attention_mask_bias(
+    key_padding_mask: Optional[np.ndarray],
+    num_heads: int,
+) -> Optional[np.ndarray]:
+    """Convert a boolean ``(B, L)`` padding mask into an additive bias.
+
+    Returns ``(B, 1, 1, L)`` with ``-1e9`` at padded key positions, ready to
+    add onto ``(B, H, L, L)`` attention logits before the softmax; broadcast
+    handles the head and query axes.
+    """
+    if key_padding_mask is None:
+        return None
+    mask = np.asarray(key_padding_mask, dtype=bool)
+    bias = np.where(mask, -1e9, 0.0)
+    return bias[:, None, None, :]

@@ -1,0 +1,69 @@
+"""Weight initialization schemes for :mod:`repro.nn` modules.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is fully deterministic given a seed — a requirement for the
+reproduction experiments (the paper reports means over five seeded runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import DEFAULT_DTYPE
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out)).
+
+    The default initializer for attention and projection weights, matching
+    PyTorch's ``nn.Linear``-adjacent transformer practice.
+    """
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, nonlinearity: str = "relu") -> np.ndarray:
+    """He/Kaiming uniform initialization for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def normal(shape, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Small-variance Gaussian init (used for embedding tables)."""
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros init (biases, layer-norm beta)."""
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape) -> np.ndarray:
+    """All-ones init (layer-norm gamma)."""
+    return np.ones(shape, dtype=DEFAULT_DTYPE)
+
+
+def orthogonal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init, standard for recurrent (GRU/LSTM) hidden weights."""
+    if len(shape) < 2:
+        raise ValueError("orthogonal init requires at least 2 dimensions")
+    rows, cols = shape[0], int(np.prod(shape[1:]))
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))  # make the decomposition unique/uniform
+    if rows < cols:
+        q = q.T
+    return (gain * q[:rows, :cols]).reshape(shape).astype(DEFAULT_DTYPE)
+
+
+def _fans(shape) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Conv kernels: (out_channels, in_channels, kh, kw)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

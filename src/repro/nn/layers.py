@@ -1,0 +1,181 @@
+"""Core feed-forward layers: Linear, Embedding, LayerNorm, Dropout, MLP.
+
+These are the building blocks shared by the DualSTB encoder (paper §IV-C),
+the projection heads (Eq. 1), and every baseline model re-implemented in
+:mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with weights of shape ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Used for the structural (grid-cell) feature table in TrajCL; the table
+    can be initialized from pre-trained node2vec vectors and optionally
+    frozen (the paper trains node2vec separately, then uses the vectors as
+    cell embeddings).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        weight: Optional[np.ndarray] = None,
+        trainable: bool = True,
+    ):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        if weight is not None:
+            weight = np.asarray(weight, dtype=np.float64)
+            if weight.shape != (num_embeddings, embedding_dim):
+                raise ValueError(
+                    f"pretrained weight shape {weight.shape} != "
+                    f"({num_embeddings}, {embedding_dim})"
+                )
+            table = weight.copy()
+        else:
+            rng = rng if rng is not None else np.random.default_rng()
+            table = init.normal((num_embeddings, embedding_dim), rng, std=0.02)
+        self.weight = Parameter(table)
+        if not trainable:
+            self.weight.requires_grad = False
+
+    def forward(self, ids) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings})"
+            )
+        return self.weight[ids]
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones(dim))
+        self.beta = Parameter(init.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class ReLU(Module):
+    """ReLU as a module (for use inside ``Sequential``)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class FeedForward(Module):
+    """Two-layer position-wise MLP, the transformer FFN block.
+
+    ``dim -> hidden_dim -> dim`` with ReLU, as in the MLP blocks of the
+    DualSTB layers (Eq. 11).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: Optional[int] = None,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        hidden_dim = hidden_dim if hidden_dim is not None else 4 * dim
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.drop(self.fc1(x).relu()))
+
+
+class ProjectionHead(Module):
+    """The contrastive projection head of TrajCL: ``FC ∘ ReLU ∘ FC`` (Eq. 1).
+
+    Maps backbone embeddings ``h`` to the lower-dimensional contrastive
+    space ``z`` where InfoNCE operates.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        hidden_dim: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        hidden_dim = hidden_dim if hidden_dim is not None else in_dim
+        self.fc1 = Linear(in_dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, out_dim, rng=rng)
+
+    def forward(self, h: Tensor) -> Tensor:
+        return self.fc2(self.fc1(h).relu())

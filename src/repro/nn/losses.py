@@ -1,0 +1,98 @@
+"""Loss functions: InfoNCE (Eq. 2), MSE, and ranking losses for baselines.
+
+``info_nce_loss`` is the training objective of TrajCL: cosine similarities
+between the anchor projections and (a) their positive views and (b) a queue
+of negatives, temperature-scaled and pushed through cross-entropy with the
+positive in slot 0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor, concatenate
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error; ``target`` may be a tensor or an array."""
+    target = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def info_nce_loss(
+    z: Tensor,
+    z_positive: Tensor,
+    negatives: Optional[np.ndarray],
+    temperature: float = 0.07,
+) -> Tensor:
+    """InfoNCE / NT-Xent loss with an external negative queue (paper Eq. 2).
+
+    Parameters
+    ----------
+    z:
+        Anchor projections ``(B, d)`` — gradients flow through these.
+    z_positive:
+        Positive-view projections ``(B, d)`` from the momentum branch.
+        Per MoCo, the momentum branch receives no gradients, so these are
+        detached if they arrive as graph tensors.
+    negatives:
+        Momentum-branch projections from recent batches, ``(K, d)`` numpy
+        array (already L2-normalized), or ``None``/empty for the degenerate
+        no-queue case.
+    temperature:
+        Softmax temperature τ.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    z_norm = F.normalize(z, axis=-1)
+    pos = z_positive.detach() if isinstance(z_positive, Tensor) else Tensor(z_positive)
+    pos_data = pos.data / (np.linalg.norm(pos.data, axis=-1, keepdims=True) + 1e-8)
+
+    # Positive logits: cosine(z_i, z'_i) -> (B, 1)
+    positive_logits = (z_norm * Tensor(pos_data)).sum(axis=-1, keepdims=True)
+    if negatives is not None and len(negatives) > 0:
+        neg = np.asarray(negatives, dtype=np.float64)
+        neg = neg / (np.linalg.norm(neg, axis=-1, keepdims=True) + 1e-8)
+        # Negative logits: cosine(z_i, queue_j) -> (B, K)
+        negative_logits = z_norm @ Tensor(neg.T)
+        logits = concatenate([positive_logits, negative_logits], axis=1)
+    else:
+        logits = positive_logits
+    logits = logits * (1.0 / temperature)
+    # Cross-entropy with the positive at index 0.
+    log_probs = F.log_softmax(logits, axis=-1)
+    return -log_probs[:, 0].mean()
+
+
+def triplet_margin_loss(
+    anchor: Tensor,
+    positive: Tensor,
+    negative: Tensor,
+    margin: float = 1.0,
+) -> Tensor:
+    """Hinge on L2 distances: used by the supervised baselines' ranking heads."""
+    d_pos = F.l2_distance(anchor, positive)
+    d_neg = F.l2_distance(anchor, negative)
+    return (d_pos - d_neg + margin).relu().mean()
+
+
+def weighted_rank_loss(
+    pred_sim: Tensor,
+    target_sim,
+    weights=None,
+) -> Tensor:
+    """NeuTraj-style weighted approximation loss.
+
+    Weighted MSE between predicted and target similarities; NeuTraj weights
+    close pairs more heavily so the top of the ranking is learned first.
+    """
+    target = np.asarray(target_sim, dtype=np.float64)
+    diff = pred_sim - Tensor(target)
+    sq = diff * diff
+    if weights is not None:
+        sq = sq * Tensor(np.asarray(weights, dtype=np.float64))
+    return sq.mean()

@@ -1,0 +1,153 @@
+"""Recurrent layers (GRU / LSTM) for the recurrent baselines.
+
+The paper's learned-measure baselines are recurrent: t2vec and E2DTC use
+GRU-based sequence-to-sequence models; NeuTraj and T3S use LSTMs. These
+cells run one Python-level step per timestep — exactly the sequential
+dependency that makes recurrent models slow relative to attention
+(paper Table VIII discussion) — so the reproduction preserves the
+architectural cost difference by construction.
+
+Backpropagation through time falls out of the autodiff tape: the per-step
+ops are recorded and replayed in reverse by ``Tensor.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, concatenate, stack, zeros
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell (Cho et al., 2014).
+
+    Gate layout packs update ``z``, reset ``r`` and candidate ``n`` weights
+    into single ``(in, 3*hidden)`` / ``(hidden, 3*hidden)`` matrices.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_input = Parameter(init.xavier_uniform((input_dim, 3 * hidden_dim), rng))
+        self.w_hidden = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_dim, hidden_dim), rng) for _ in range(3)], axis=1
+            )
+        )
+        self.bias = Parameter(init.zeros(3 * hidden_dim))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: ``x`` is ``(B, input_dim)``, ``h`` is ``(B, hidden_dim)``."""
+        d = self.hidden_dim
+        gates_x = x @ self.w_input + self.bias
+        gates_h = h @ self.w_hidden
+        z = (gates_x[:, 0:d] + gates_h[:, 0:d]).sigmoid()
+        r = (gates_x[:, d:2 * d] + gates_h[:, d:2 * d]).sigmoid()
+        n = (gates_x[:, 2 * d:] + r * gates_h[:, 2 * d:]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class GRU(Module):
+    """Unidirectional GRU over a padded batch ``(B, L, input_dim)``.
+
+    Returns the full output sequence ``(B, L, hidden)`` and the final hidden
+    state per sequence ``(B, hidden)``, respecting ``lengths`` so padded
+    steps do not alter the final state.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self,
+        x: Tensor,
+        lengths: Optional[np.ndarray] = None,
+        h0: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        batch, seq_len, _ = x.shape
+        h = h0 if h0 is not None else zeros((batch, self.hidden_dim))
+        outputs = []
+        if lengths is None:
+            lengths = np.full(batch, seq_len, dtype=np.int64)
+        else:
+            lengths = np.asarray(lengths, dtype=np.int64)
+        for t in range(seq_len):
+            h_new = self.cell(x[:, t, :], h)
+            # Freeze finished sequences: keep old h where t >= length.
+            active = (t < lengths).astype(x.dtype)[:, None]
+            h = h_new * active + h * (1.0 - active)
+            outputs.append(h)
+        return stack(outputs, axis=1), h
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell (Hochreiter & Schmidhuber, 1997).
+
+    Gate layout: input ``i``, forget ``f``, cell ``g``, output ``o``.
+    Forget-gate bias initialized to 1, the standard trick for gradient flow.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_input = Parameter(init.xavier_uniform((input_dim, 4 * hidden_dim), rng))
+        self.w_hidden = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_dim, hidden_dim), rng) for _ in range(4)], axis=1
+            )
+        )
+        bias = init.zeros(4 * hidden_dim)
+        bias[hidden_dim:2 * hidden_dim] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h, c = state
+        d = self.hidden_dim
+        gates = x @ self.w_input + h @ self.w_hidden + self.bias
+        i = gates[:, 0:d].sigmoid()
+        f = gates[:, d:2 * d].sigmoid()
+        g = gates[:, 2 * d:3 * d].tanh()
+        o = gates[:, 3 * d:].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a padded batch ``(B, L, input_dim)``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self,
+        x: Tensor,
+        lengths: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        batch, seq_len, _ = x.shape
+        h = zeros((batch, self.hidden_dim))
+        c = zeros((batch, self.hidden_dim))
+        outputs = []
+        if lengths is None:
+            lengths = np.full(batch, seq_len, dtype=np.int64)
+        else:
+            lengths = np.asarray(lengths, dtype=np.int64)
+        for t in range(seq_len):
+            h_new, c_new = self.cell(x[:, t, :], (h, c))
+            active = (t < lengths).astype(x.dtype)[:, None]
+            h = h_new * active + h * (1.0 - active)
+            c = c_new * active + c * (1.0 - active)
+            outputs.append(h)
+        return stack(outputs, axis=1), h

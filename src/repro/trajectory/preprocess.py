@@ -1,0 +1,105 @@
+"""Dataset preprocessing filters from the paper's experimental setup.
+
+§V-A: "we preprocess each dataset by filtering out trajectories that are
+outside the city area or contain less than 20 points or more than 200
+points". :func:`filter_trajectories` implements exactly that contract;
+:func:`pad_point_arrays` prepares fixed-length batches for the encoders
+(trajectories shorter than ``max_len`` are zero-padded, matching §IV-C:
+"We pad trajectories with less than l points with 0's").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .trajectory import Trajectory, TrajectoryLike, as_points
+
+MIN_POINTS_DEFAULT = 20
+MAX_POINTS_DEFAULT = 200
+
+
+def within_bbox(points: np.ndarray, bbox: Tuple[float, float, float, float]) -> bool:
+    """True iff every point lies inside ``(min_x, min_y, max_x, max_y)``."""
+    min_x, min_y, max_x, max_y = bbox
+    return bool(
+        (points[:, 0] >= min_x).all()
+        and (points[:, 0] <= max_x).all()
+        and (points[:, 1] >= min_y).all()
+        and (points[:, 1] <= max_y).all()
+    )
+
+
+def filter_trajectories(
+    trajectories: Sequence[TrajectoryLike],
+    min_points: int = MIN_POINTS_DEFAULT,
+    max_points: int = MAX_POINTS_DEFAULT,
+    bbox: Optional[Tuple[float, float, float, float]] = None,
+) -> List[Trajectory]:
+    """Apply the paper's §V-A dataset filters and wrap results.
+
+    Invalid inputs (wrong shape / non-finite coordinates) are dropped rather
+    than raised on, since real GPS dumps contain such records.
+    """
+    if min_points < 1 or max_points < min_points:
+        raise ValueError("need 1 <= min_points <= max_points")
+    kept: List[Trajectory] = []
+    for raw in trajectories:
+        try:
+            points = as_points(raw)
+        except ValueError:
+            continue
+        if not min_points <= len(points) <= max_points:
+            continue
+        if bbox is not None and not within_bbox(points, bbox):
+            continue
+        kept.append(raw if isinstance(raw, Trajectory) else Trajectory(points))
+    return kept
+
+
+def pad_point_arrays(
+    trajectories: Sequence[TrajectoryLike],
+    max_len: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack variable-length trajectories into ``(B, L, 2)`` with zero padding.
+
+    Returns the padded array and the true lengths ``(B,)``. Trajectories
+    longer than ``max_len`` are truncated (keeping the prefix), mirroring the
+    fixed maximum trajectory length l of the encoders.
+    """
+    point_lists = [as_points(t) for t in trajectories]
+    if not point_lists:
+        raise ValueError("no trajectories to pad")
+    lengths = np.array([len(p) for p in point_lists], dtype=np.int64)
+    limit = int(max_len) if max_len is not None else int(lengths.max())
+    if limit < 1:
+        raise ValueError("max_len must be at least 1")
+    lengths = np.minimum(lengths, limit)
+    batch = np.zeros((len(point_lists), limit, 2), dtype=np.float64)
+    for i, points in enumerate(point_lists):
+        n = lengths[i]
+        batch[i, :n] = points[:n]
+    return batch, lengths
+
+
+def resample_to_length(points: TrajectoryLike, target_len: int) -> np.ndarray:
+    """Resample a polyline to exactly ``target_len`` points by arc length.
+
+    Utility for the raster baseline (TrjSR) and for generating equal-length
+    inputs; linear interpolation along the cumulative arc length.
+    """
+    pts = as_points(points)
+    if target_len < 2:
+        raise ValueError("target_len must be >= 2")
+    if len(pts) == 1:
+        return np.repeat(pts, target_len, axis=0)
+    seg = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+    cumulative = np.concatenate([[0.0], np.cumsum(seg)])
+    total = cumulative[-1]
+    if total <= 0:
+        return np.repeat(pts[:1], target_len, axis=0)
+    targets = np.linspace(0.0, total, target_len)
+    x = np.interp(targets, cumulative, pts[:, 0])
+    y = np.interp(targets, cumulative, pts[:, 1])
+    return np.stack([x, y], axis=1)

@@ -1,0 +1,67 @@
+"""Douglas–Peucker polyline simplification.
+
+Used both as the *trajectory simplification* augmentation of TrajCL
+(paper §IV-A, Eq. 7, threshold ρp = 100 m) and by downstream tooling.
+The implementation is iterative (explicit stack) so pathological inputs
+cannot exhaust Python's recursion limit, and the farthest-point search is
+vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trajectory import TrajectoryLike, as_points
+
+
+def point_segment_distance(points: np.ndarray, start: np.ndarray, end: np.ndarray) -> np.ndarray:
+    """Distance from each of ``points`` to the segment ``start``–``end``.
+
+    Degenerates gracefully to point-to-point distance when the segment has
+    zero length.
+    """
+    direction = end - start
+    norm_sq = float(direction @ direction)
+    if norm_sq <= 1e-24:
+        return np.linalg.norm(points - start, axis=1)
+    t = np.clip(((points - start) @ direction) / norm_sq, 0.0, 1.0)
+    projection = start + t[:, None] * direction
+    return np.linalg.norm(points - projection, axis=1)
+
+
+def douglas_peucker_mask(points: TrajectoryLike, epsilon: float) -> np.ndarray:
+    """Boolean keep-mask of the Douglas–Peucker simplification.
+
+    A point is kept iff it is a recursive "breaking point": the farthest
+    point from the current anchor segment at distance > ``epsilon``.
+    Endpoints are always kept.
+    """
+    pts = as_points(points)
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    n = len(pts)
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    if n <= 2:
+        return keep
+
+    stack = [(0, n - 1)]
+    while stack:
+        first, last = stack.pop()
+        if last - first < 2:
+            continue
+        interior = pts[first + 1:last]
+        distances = point_segment_distance(interior, pts[first], pts[last])
+        idx = int(np.argmax(distances))
+        if distances[idx] > epsilon:
+            breaking = first + 1 + idx
+            keep[breaking] = True
+            stack.append((first, breaking))
+            stack.append((breaking, last))
+    return keep
+
+
+def douglas_peucker(points: TrajectoryLike, epsilon: float) -> np.ndarray:
+    """Return the simplified ``(M, 2)`` polyline (M ≤ N)."""
+    pts = as_points(points)
+    return pts[douglas_peucker_mask(pts, epsilon)].copy()

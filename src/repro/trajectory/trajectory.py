@@ -1,0 +1,127 @@
+"""The :class:`Trajectory` primitive.
+
+The paper models a trajectory ``T = [p_1, ..., p_|T|]`` as a sequence of
+points in a Euclidean space (§III). Internally every algorithm in this
+repository operates on ``(N, 2)`` float arrays for speed; ``Trajectory``
+is a thin, validated wrapper that carries derived geometry (length, bounding
+box, segment lengths) and supports slicing. :func:`as_points` lets public
+APIs accept either form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+PointArray = np.ndarray  # (N, 2) float64
+TrajectoryLike = Union["Trajectory", np.ndarray, Sequence[Sequence[float]]]
+
+
+def as_points(trajectory: TrajectoryLike) -> PointArray:
+    """Coerce a trajectory-like object to a validated ``(N, 2)`` float array."""
+    if isinstance(trajectory, Trajectory):
+        return trajectory.points
+    points = np.asarray(trajectory, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"trajectory must have shape (N, 2), got {points.shape}")
+    if len(points) < 1:
+        raise ValueError("trajectory must contain at least one point")
+    if not np.isfinite(points).all():
+        raise ValueError("trajectory contains non-finite coordinates")
+    return points
+
+
+class Trajectory:
+    """An immutable sequence of 2-D points describing a movement.
+
+    Coordinates are planar (metres in the synthetic city datasets); the
+    measures and models in this repository are agnostic to the unit as long
+    as it is consistent with the grid cell size and augmentation radii.
+    """
+
+    __slots__ = ("points",)
+
+    def __init__(self, points: TrajectoryLike):
+        object.__setattr__(self, "points", as_points(points))
+        self.points.setflags(write=False)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Trajectory is immutable")
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trajectory(self.points[index].copy())
+        return self.points[index]
+
+    def __iter__(self) -> Iterable[np.ndarray]:
+        return iter(self.points)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return self.points.shape == other.points.shape and bool(
+            np.allclose(self.points, other.points)
+        )
+
+    def __hash__(self):
+        return hash((self.points.shape, self.points.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Trajectory(n_points={len(self)}, length={self.length():.1f})"
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def segment_lengths(self) -> np.ndarray:
+        """Euclidean length of each consecutive segment, shape ``(N-1,)``."""
+        diffs = np.diff(self.points, axis=0)
+        return np.hypot(diffs[:, 0], diffs[:, 1])
+
+    def length(self) -> float:
+        """Total travelled length (sum of segment lengths)."""
+        if len(self) < 2:
+            return 0.0
+        return float(self.segment_lengths().sum())
+
+    def bbox(self) -> Tuple[float, float, float, float]:
+        """Axis-aligned bounding box ``(min_x, min_y, max_x, max_y)``."""
+        mins = self.points.min(axis=0)
+        maxs = self.points.max(axis=0)
+        return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])
+
+    def centroid(self) -> np.ndarray:
+        """Mean point, shape ``(2,)``."""
+        return self.points.mean(axis=0)
+
+    def reversed(self) -> "Trajectory":
+        """The same path traversed in the opposite direction."""
+        return Trajectory(self.points[::-1].copy())
+
+    def turning_radians(self) -> np.ndarray:
+        """Interior angle at each internal point, shape ``(N,)``.
+
+        The paper's spatial features use ``r_i = ∠ p_{i-1} p_i p_{i+1}``
+        (Eq. 8). Endpoints, where the angle is undefined, get π (a straight
+        continuation), matching the feature-enrichment convention in
+        :mod:`repro.core.features`.
+        """
+        points = self.points
+        n = len(points)
+        radians = np.full(n, np.pi)
+        if n < 3:
+            return radians
+        before = points[:-2] - points[1:-1]
+        after = points[2:] - points[1:-1]
+        norm_b = np.linalg.norm(before, axis=1)
+        norm_a = np.linalg.norm(after, axis=1)
+        denom = np.maximum(norm_b * norm_a, 1e-12)
+        cos = np.clip((before * after).sum(axis=1) / denom, -1.0, 1.0)
+        radians[1:-1] = np.arccos(cos)
+        return radians

@@ -1,0 +1,83 @@
+"""Visvalingam–Whyatt polyline simplification.
+
+The paper adopts Douglas–Peucker for the simplification augmentation but
+notes "other simplification methods also apply" (§IV-A). Visvalingam–
+Whyatt is the standard alternative: it iteratively removes the point whose
+triangle (with its two neighbours) has the smallest *effective area*, which
+tends to preserve smooth overall shape better than DP's perpendicular-
+distance criterion. Provided both as a library utility and as the optional
+``"simplify_vw"`` augmentation.
+
+Implementation uses a lazy-deletion heap: areas are pushed with a version
+stamp; stale entries (superseded by a neighbour's recomputation) are
+skipped on pop — O(n log n) total.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .trajectory import TrajectoryLike, as_points
+
+
+def triangle_area(p: np.ndarray, q: np.ndarray, r: np.ndarray) -> float:
+    """Twice-signed area magnitude of triangle pqr / 2 (shoelace)."""
+    return 0.5 * abs(
+        (q[0] - p[0]) * (r[1] - p[1]) - (r[0] - p[0]) * (q[1] - p[1])
+    )
+
+
+def visvalingam_mask(points: TrajectoryLike, min_area: float) -> np.ndarray:
+    """Keep-mask after removing every point with effective area < ``min_area``.
+
+    Endpoints are always kept. Effective area uses the standard definition:
+    after a removal, neighbouring areas are recomputed against the
+    *surviving* neighbours, and a point's effective area never decreases
+    below that of a previously removed neighbour (monotonicity guard).
+    """
+    pts = as_points(points)
+    if min_area < 0:
+        raise ValueError("min_area must be non-negative")
+    n = len(pts)
+    keep = np.ones(n, dtype=bool)
+    if n <= 2:
+        return keep
+
+    prev_idx = np.arange(n) - 1
+    next_idx = np.arange(n) + 1
+    version = np.zeros(n, dtype=np.int64)
+
+    heap = []
+    for i in range(1, n - 1):
+        area = triangle_area(pts[i - 1], pts[i], pts[i + 1])
+        heapq.heappush(heap, (area, i, 0))
+
+    floor_area = 0.0  # monotonicity: effective areas never decrease
+    while heap:
+        area, i, stamp = heapq.heappop(heap)
+        if stamp != version[i] or not keep[i]:
+            continue  # stale entry
+        effective = max(area, floor_area)
+        if effective >= min_area:
+            break
+        floor_area = effective
+        keep[i] = False
+        before, after = prev_idx[i], next_idx[i]
+        next_idx[before] = after
+        prev_idx[after] = before
+        for j in (before, after):
+            if 0 < j < n - 1 and keep[j]:
+                version[j] += 1
+                new_area = triangle_area(
+                    pts[prev_idx[j]], pts[j], pts[next_idx[j]]
+                )
+                heapq.heappush(heap, (new_area, j, int(version[j])))
+    return keep
+
+
+def visvalingam(points: TrajectoryLike, min_area: float) -> np.ndarray:
+    """Return the simplified polyline ``(M, 2)``."""
+    pts = as_points(points)
+    return pts[visvalingam_mask(pts, min_area)].copy()

@@ -1,0 +1,246 @@
+"""Tests for the learned baseline measures (self-supervised + supervised)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CSTRM,
+    T3S,
+    CoordinateScaler,
+    E2DTC,
+    MemoryBudgetExceeded,
+    NeuTraj,
+    T2Vec,
+    Traj2SimVec,
+    TrajGAT,
+    TrjSR,
+    rasterize,
+    sample_training_pairs,
+)
+from repro.measures import Hausdorff
+from repro.trajectory import Grid
+
+
+def make_trajectories(n=16, seed=0, min_pts=12, max_pts=24):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        length = int(rng.integers(min_pts, max_pts + 1))
+        out.append(np.cumsum(rng.standard_normal((length, 2)) * 50, axis=0) + 2000.0)
+    return out
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    return make_trajectories()
+
+
+@pytest.fixture(scope="module")
+def grid(trajectories):
+    return Grid.covering(trajectories, cell_size=200)
+
+
+class TestCoordinateScaler:
+    def test_maps_to_unit_box(self, trajectories):
+        scaler = CoordinateScaler().fit(trajectories)
+        for t in trajectories:
+            scaled = scaler.transform(t)
+            assert scaled.min() >= -1e-9 and scaled.max() <= 1 + 1e-9
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CoordinateScaler().transform(np.zeros((3, 2)))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            CoordinateScaler().fit([])
+
+    def test_batch_padding(self, trajectories):
+        scaler = CoordinateScaler().fit(trajectories)
+        batch, lengths = scaler.transform_batch(trajectories[:4], max_len=30)
+        assert batch.shape == (4, 30, 2)
+        assert (lengths <= 30).all()
+
+
+def test_sample_training_pairs_distinct():
+    left, right = sample_training_pairs(10, 200, np.random.default_rng(0))
+    assert (left != right).all()
+    assert len(left) == len(right) <= 200
+
+
+class TestT2Vec:
+    def test_embedding_shape(self, grid, trajectories):
+        model = T2Vec(grid, embedding_dim=8, hidden_dim=12, max_len=32,
+                      rng=np.random.default_rng(0))
+        emb = model.encode(trajectories[:5])
+        assert emb.shape == (5, 12)
+
+    def test_training_reduces_loss(self, grid, trajectories):
+        model = T2Vec(grid, embedding_dim=8, hidden_dim=12, max_len=32,
+                      rng=np.random.default_rng(1))
+        losses = model.fit(trajectories, epochs=3, batch_size=8,
+                           rng=np.random.default_rng(2))
+        assert losses[-1] < losses[0]
+
+    def test_smoothed_targets_are_distributions(self, grid):
+        model = T2Vec(grid, embedding_dim=8, hidden_dim=8, max_len=16,
+                      rng=np.random.default_rng(3))
+        tokens = np.array([[0, 5, grid.n_cells - 1]])
+        targets = model._smoothed_targets(tokens)
+        np.testing.assert_allclose(targets.sum(axis=-1), 1.0, atol=1e-9)
+        assert targets[0, 0, 0] == pytest.approx(0.8)
+
+    def test_fit_empty_raises(self, grid):
+        model = T2Vec(grid, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.fit([])
+
+    def test_distance_matrix(self, grid, trajectories):
+        model = T2Vec(grid, embedding_dim=8, hidden_dim=12, max_len=32,
+                      rng=np.random.default_rng(4))
+        matrix = model.distance_matrix(trajectories[:3], trajectories[:6])
+        assert matrix.shape == (3, 6)
+        np.testing.assert_allclose(np.diag(matrix[:, :3]), 0.0, atol=1e-9)
+
+
+class TestE2DTC:
+    def test_fit_runs_both_phases(self, grid, trajectories):
+        model = E2DTC(grid, n_clusters=4, embedding_dim=8, hidden_dim=12,
+                      max_len=32, rng=np.random.default_rng(0))
+        losses = model.fit(trajectories, epochs=1, cluster_epochs=2,
+                           batch_size=8, rng=np.random.default_rng(1))
+        assert len(losses) == 3  # 1 seq2seq epoch + 2 cluster rounds
+        assert model.cluster_centers is not None
+        assert model.cluster_centers.shape[1] == 12
+
+    def test_soft_assignment_rows_sum_to_one(self, grid, trajectories):
+        model = E2DTC(grid, n_clusters=3, embedding_dim=8, hidden_dim=12,
+                      max_len=32, rng=np.random.default_rng(2))
+        model.fit(trajectories[:8], epochs=1, cluster_epochs=1, batch_size=4,
+                  rng=np.random.default_rng(3))
+        import repro.nn as nn
+
+        q = model._soft_assignment(nn.Tensor(model.encode(trajectories[:5])))
+        np.testing.assert_allclose(q.data.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestTrjSR:
+    def test_rasterize_counts_points(self):
+        points = np.array([[0.0, 0.0], [0.0, 0.0], [99.0, 99.0]])
+        image = rasterize(points, 10, (0, 0, 100, 100))
+        assert image.shape == (10, 10)
+        assert image[0, 0] == pytest.approx(np.log1p(2))
+        assert image[9, 9] == pytest.approx(np.log1p(1))
+
+    def test_embedding_shape(self, trajectories):
+        bbox = (1000.0, 1000.0, 3000.0, 3000.0)
+        model = TrjSR(bbox, low_res=8, high_res=16, channels=4,
+                      rng=np.random.default_rng(0))
+        emb = model.encode(trajectories[:4])
+        assert emb.shape == (4, 8)
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            TrjSR((0, 0, 1, 1), low_res=10, high_res=15)
+
+    def test_training_reduces_loss(self, trajectories):
+        bbox = (1000.0, 1000.0, 3000.0, 3000.0)
+        model = TrjSR(bbox, low_res=8, high_res=16, channels=4,
+                      rng=np.random.default_rng(1))
+        losses = model.fit(trajectories, epochs=3, batch_size=8,
+                           rng=np.random.default_rng(2))
+        assert losses[-1] < losses[0]
+
+    def test_pixel_shuffle_shape(self):
+        import repro.nn as nn
+
+        model = TrjSR((0, 0, 1, 1), low_res=8, high_res=16, channels=4,
+                      rng=np.random.default_rng(3))
+        x = nn.Tensor(np.random.default_rng(0).standard_normal((2, 4, 8, 8)))
+        assert model._pixel_shuffle(x).shape == (2, 1, 16, 16)
+
+
+class TestCSTRM:
+    def test_embedding_shape(self, grid, trajectories):
+        model = CSTRM(grid, embedding_dim=16, num_heads=4, num_layers=1,
+                      max_len=32, rng=np.random.default_rng(0))
+        emb = model.encode(trajectories[:4])
+        assert emb.shape == (4, 16)
+
+    def test_training_runs(self, grid, trajectories):
+        model = CSTRM(grid, embedding_dim=16, num_heads=4, num_layers=1,
+                      max_len=32, rng=np.random.default_rng(1))
+        losses = model.fit(trajectories, epochs=2, batch_size=8,
+                           rng=np.random.default_rng(2))
+        assert len(losses) == 2
+        assert all(np.isfinite(losses))
+
+    def test_memory_budget_reproduces_germany_oom(self, grid):
+        with pytest.raises(MemoryBudgetExceeded):
+            CSTRM(grid, embedding_dim=16, max_cell_parameters=10)
+
+    def test_fit_needs_two(self, grid, trajectories):
+        model = CSTRM(grid, embedding_dim=16, rng=np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            model.fit(trajectories[:1])
+
+
+SUPERVISED_FACTORIES = [
+    ("neutraj", lambda grid: NeuTraj(grid, hidden_dim=16, max_len=32,
+                                     rng=np.random.default_rng(0))),
+    ("traj2simvec", lambda grid: Traj2SimVec(hidden_dim=16, max_len=32,
+                                             rng=np.random.default_rng(0))),
+    ("t3s", lambda grid: T3S(grid, hidden_dim=16, num_heads=4, num_layers=1,
+                             max_len=32, rng=np.random.default_rng(0))),
+    ("trajgat", lambda grid: TrajGAT(hidden_dim=16, num_heads=4, num_layers=1,
+                                     max_len=32, rng=np.random.default_rng(0))),
+]
+
+
+class TestSupervisedApproximators:
+    @pytest.mark.parametrize("name,factory", SUPERVISED_FACTORIES)
+    def test_embedding_shape(self, name, factory, grid, trajectories):
+        model = factory(grid)
+        emb = model.encode(trajectories[:4])
+        assert emb.shape == (4, model.output_dim)
+        assert np.isfinite(emb).all()
+
+    @pytest.mark.parametrize("name,factory", SUPERVISED_FACTORIES)
+    def test_fit_reduces_loss(self, name, factory, grid, trajectories):
+        model = factory(grid)
+        history = model.fit(trajectories, Hausdorff(), epochs=4, pairs=64,
+                            batch_size=16, rng=np.random.default_rng(1))
+        assert history.losses[-1] < history.losses[0], (
+            f"{name}: {history.losses}"
+        )
+
+    @pytest.mark.parametrize("name,factory", SUPERVISED_FACTORIES)
+    def test_distance_matrix_scaled(self, name, factory, grid, trajectories):
+        model = factory(grid)
+        model.fit(trajectories, Hausdorff(), epochs=1, pairs=32,
+                  batch_size=16, rng=np.random.default_rng(2))
+        matrix = model.distance_matrix(trajectories[:3], trajectories[:5])
+        assert matrix.shape == (3, 5)
+        assert (matrix >= 0).all()
+
+    def test_fit_needs_two(self, grid, trajectories):
+        model = Traj2SimVec(hidden_dim=16, rng=np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            model.fit(trajectories[:1], Hausdorff())
+
+    def test_neutraj_memory_updates_in_training_only(self, grid, trajectories):
+        model = NeuTraj(grid, hidden_dim=16, max_len=32,
+                        rng=np.random.default_rng(4))
+        model.encode(trajectories[:4])  # eval mode: no memory writes
+        np.testing.assert_allclose(model.cell_memory, 0.0)
+        model.train()
+        model.embed_batch(trajectories[:4])
+        assert np.abs(model.cell_memory).sum() > 0
+
+    def test_trajgat_bias_scale_learns(self, grid, trajectories):
+        model = TrajGAT(hidden_dim=16, num_heads=4, num_layers=1, max_len=32,
+                        rng=np.random.default_rng(5))
+        model.fit(trajectories, Hausdorff(), epochs=1, pairs=32, batch_size=16,
+                  rng=np.random.default_rng(6))
+        scales = [float(layer.bias_scale.data) for layer in model.layers]
+        assert all(np.isfinite(scales))

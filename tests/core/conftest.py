@@ -1,0 +1,50 @@
+"""Shared fixtures for the TrajCL core tests: a tiny trained-free setup."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureEnrichment, TrajCL, TrajCLConfig
+from repro.trajectory import Grid
+
+
+def make_trajectories(n=24, seed=0, min_pts=20, max_pts=40):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        length = int(rng.integers(min_pts, max_pts + 1))
+        out.append(
+            np.cumsum(rng.standard_normal((length, 2)) * 60, axis=0) + 3000.0
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    """(config, features, trajectories) with random (non-node2vec) cell table.
+
+    Cell embeddings are unit-scale: they must be comparable in magnitude to
+    the sinusoidal position encoding added on top, as node2vec vectors are,
+    or position information drowns the structural signal.
+    """
+    trajectories = make_trajectories(n=32)
+    grid = Grid.covering(trajectories, cell_size=250)
+    config = TrajCLConfig(
+        structural_dim=16,
+        max_len=40,
+        projection_dim=8,
+        queue_size=64,
+        batch_size=8,
+        max_epochs=2,
+        dropout=0.0,
+        momentum=0.9,  # paper uses 0.999; small-scale tests need faster EMA
+    )
+    rng = np.random.default_rng(1)
+    cell_embeddings = rng.standard_normal((grid.n_cells, config.structural_dim))
+    features = FeatureEnrichment(grid, cell_embeddings, max_len=config.max_len)
+    return config, features, trajectories
+
+
+@pytest.fixture()
+def small_model(small_setup):
+    config, features, _ = small_setup
+    return TrajCL(features, config, rng=np.random.default_rng(2))

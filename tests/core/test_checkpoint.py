@@ -1,0 +1,60 @@
+"""Tests for full-pipeline checkpointing (repro.core.checkpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrajCL, load_pipeline, save_pipeline
+
+from .conftest import make_trajectories
+
+
+class TestPipelineCheckpoint:
+    def test_roundtrip_preserves_embeddings(self, small_model, small_setup,
+                                            tmp_path):
+        _, _, trajectories = small_setup
+        path = str(tmp_path / "pipeline.npz")
+        save_pipeline(path, small_model)
+        restored = load_pipeline(path)
+
+        original = small_model.encode(trajectories[:6])
+        loaded = restored.encode(trajectories[:6])
+        np.testing.assert_allclose(original, loaded, atol=1e-12)
+
+    def test_roundtrip_preserves_config(self, small_model, tmp_path):
+        path = str(tmp_path / "pipeline.npz")
+        save_pipeline(path, small_model)
+        restored = load_pipeline(path)
+        assert restored.config == small_model.config
+        assert restored.encoder_variant == small_model.encoder_variant
+
+    def test_roundtrip_preserves_grid(self, small_model, tmp_path):
+        path = str(tmp_path / "pipeline.npz")
+        save_pipeline(path, small_model)
+        restored = load_pipeline(path)
+        original_grid = small_model.features.grid
+        loaded_grid = restored.features.grid
+        assert loaded_grid.n_cells == original_grid.n_cells
+        assert loaded_grid.cell_size == original_grid.cell_size
+
+    def test_variant_roundtrip(self, small_setup, tmp_path):
+        config, features, trajectories = small_setup
+        model = TrajCL(features, config, encoder_variant="msm",
+                       rng=np.random.default_rng(5))
+        path = str(tmp_path / "msm.npz")
+        save_pipeline(path, model)
+        restored = load_pipeline(path)
+        assert restored.encoder_variant == "msm"
+        np.testing.assert_allclose(
+            model.encode(trajectories[:3]), restored.encode(trajectories[:3]),
+            atol=1e-12,
+        )
+
+    def test_rejects_non_pipeline_npz(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_pipeline(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_pipeline(str(tmp_path / "missing.npz"))

@@ -1,0 +1,137 @@
+"""Tests for pointwise feature enrichment (paper §IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureEnrichment, sinusoidal_position_encoding, spatial_features
+from repro.trajectory import Grid
+
+
+def make_grid():
+    return Grid(0, 0, 1000, 1000, cell_size=100)
+
+
+def walk(n=20, seed=0, scale=40.0, offset=500.0):
+    rng = np.random.default_rng(seed)
+    return np.clip(
+        np.cumsum(rng.standard_normal((n, 2)) * scale, axis=0) + offset, 1, 999
+    )
+
+
+class TestPositionEncoding:
+    def test_shape_and_range(self):
+        table = sinusoidal_position_encoding(50, 16)
+        assert table.shape == (50, 16)
+        assert (np.abs(table) <= 1.0 + 1e-12).all()
+
+    def test_eq9_values(self):
+        """Spot-check Eq. 9: even j -> sin(i/10000^{j/d}), odd -> cos(.../{(j-1)/d})."""
+        d = 8
+        table = sinusoidal_position_encoding(10, d)
+        i, j = 3, 4
+        assert table[i, j] == pytest.approx(np.sin(i / 10000 ** (j / d)))
+        i, j = 5, 3
+        assert table[i, j] == pytest.approx(np.cos(i / 10000 ** ((j - 1) / d)))
+
+    def test_first_row_alternates_zero_one(self):
+        table = sinusoidal_position_encoding(4, 6)
+        np.testing.assert_allclose(table[0, 0::2], 0.0)
+        np.testing.assert_allclose(table[0, 1::2], 1.0)
+
+    def test_distinct_positions(self):
+        table = sinusoidal_position_encoding(100, 16)
+        assert len(np.unique(table.round(9), axis=0)) == 100
+
+
+class TestSpatialFeatures:
+    def test_shape(self):
+        grid = make_grid()
+        feats = spatial_features(walk(15), grid)
+        assert feats.shape == (15, 4)
+
+    def test_coordinates_normalized(self):
+        grid = make_grid()
+        feats = spatial_features(walk(25, seed=1), grid)
+        assert (feats[:, 0] >= 0).all() and (feats[:, 0] <= 1).all()
+        assert (feats[:, 1] >= 0).all() and (feats[:, 1] <= 1).all()
+
+    def test_straight_line_radian_is_one(self):
+        """Interior angles of a straight line are π -> normalized to 1."""
+        grid = make_grid()
+        line = np.stack([np.linspace(100, 900, 10), np.full(10, 500.0)], axis=1)
+        feats = spatial_features(line, grid)
+        np.testing.assert_allclose(feats[:, 2], 1.0)
+
+    def test_right_angle_half(self):
+        grid = make_grid()
+        corner = np.array([[100.0, 100.0], [200.0, 100.0], [200.0, 200.0]])
+        feats = spatial_features(corner, grid)
+        assert feats[1, 2] == pytest.approx(0.5)
+
+    def test_segment_length_feature(self):
+        grid = make_grid()  # cell 100
+        pts = np.array([[0.0, 0.0], [100.0, 0.0], [300.0, 0.0]])
+        feats = spatial_features(pts, grid)
+        assert feats[0, 3] == pytest.approx(1.0)    # first: only next segment
+        assert feats[1, 3] == pytest.approx(1.5)    # mean(100, 200)/100
+        assert feats[2, 3] == pytest.approx(2.0)    # last: only prev segment
+
+    def test_single_point(self):
+        grid = make_grid()
+        feats = spatial_features(np.array([[500.0, 500.0]]), grid)
+        assert feats.shape == (1, 4)
+        assert feats[0, 2] == pytest.approx(1.0)
+        assert feats[0, 3] == pytest.approx(0.0)
+
+
+class TestFeatureEnrichment:
+    def make_enrichment(self, max_len=32, dim=8):
+        grid = make_grid()
+        rng = np.random.default_rng(0)
+        table = rng.standard_normal((grid.n_cells, dim))
+        return FeatureEnrichment(grid, table, max_len=max_len), table, grid
+
+    def test_encode_one_shapes(self):
+        enrichment, _, _ = self.make_enrichment()
+        t_mat, s_mat = enrichment.encode_one(walk(20))
+        assert t_mat.shape == (20, 8)
+        assert s_mat.shape == (20, 4)
+
+    def test_structural_uses_cell_embedding_plus_pe(self):
+        enrichment, table, grid = self.make_enrichment()
+        pts = walk(5, seed=3)
+        t_mat, _ = enrichment.encode_one(pts)
+        cells = grid.cell_of(pts)
+        pe = sinusoidal_position_encoding(enrichment.max_len, 8)
+        np.testing.assert_allclose(t_mat, table[cells] + pe[:5])
+
+    def test_truncation_to_max_len(self):
+        enrichment, _, _ = self.make_enrichment(max_len=10)
+        t_mat, s_mat = enrichment.encode_one(walk(50))
+        assert len(t_mat) == 10 and len(s_mat) == 10
+
+    def test_encode_batch_padding(self):
+        enrichment, _, _ = self.make_enrichment(max_len=16)
+        batch = [walk(5, seed=1), walk(12, seed=2)]
+        structural, spatial, mask, lengths = enrichment.encode_batch(batch)
+        assert structural.shape == (2, 16, 8)
+        assert spatial.shape == (2, 16, 4)
+        np.testing.assert_array_equal(lengths, [5, 12])
+        assert mask[0, 5:].all() and not mask[0, :5].any()
+        np.testing.assert_allclose(structural[0, 5:], 0.0)
+        np.testing.assert_allclose(spatial[1, 12:], 0.0)
+
+    def test_empty_batch_raises(self):
+        enrichment, _, _ = self.make_enrichment()
+        with pytest.raises(ValueError):
+            enrichment.encode_batch([])
+
+    def test_wrong_cell_table_shape(self):
+        grid = make_grid()
+        with pytest.raises(ValueError):
+            FeatureEnrichment(grid, np.zeros((3, 8)))
+
+    def test_max_len_validation(self):
+        grid = make_grid()
+        with pytest.raises(ValueError):
+            FeatureEnrichment(grid, np.zeros((grid.n_cells, 8)), max_len=1)

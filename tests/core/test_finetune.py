@@ -1,0 +1,99 @@
+"""Tests for fine-tuning TrajCL to approximate heuristic measures (§V-F)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HeuristicApproximator, TrajCL
+from repro.measures import Hausdorff
+
+from .conftest import make_trajectories
+
+
+@pytest.fixture()
+def approximator(small_model):
+    return HeuristicApproximator(small_model, mode="last_layer",
+                                 rng=np.random.default_rng(0))
+
+
+class TestConstruction:
+    def test_invalid_mode(self, small_model):
+        with pytest.raises(ValueError):
+            HeuristicApproximator(small_model, mode="bogus")
+
+    def test_last_layer_mode_freezes_early_layers(self, small_model):
+        approx = HeuristicApproximator(small_model, mode="last_layer")
+        last = {id(p) for p in small_model.encoder.last_layer_parameters()}
+        for param in small_model.encoder.parameters():
+            if id(param) in last:
+                assert param.requires_grad
+            else:
+                assert not param.requires_grad
+
+    def test_all_mode_unfreezes_everything(self, small_model):
+        HeuristicApproximator(small_model, mode="all")
+        assert all(p.requires_grad for p in small_model.encoder.parameters())
+
+    def test_head_only_mode(self, small_model):
+        approx = HeuristicApproximator(small_model, mode="head_only")
+        assert all(not p.requires_grad for p in small_model.encoder.parameters())
+        assert len(approx.trainable_parameters()) == len(approx.mlp.parameters())
+
+    def test_mlp_is_two_layers_of_width_d(self, small_model):
+        """Paper: 'a two-layer MLP where the size of each layer is the same as d'."""
+        approx = HeuristicApproximator(small_model)
+        d = small_model.encoder.output_dim
+        weights = [p for n, p in approx.mlp.named_parameters() if n.endswith("weight")]
+        assert len(weights) == 2
+        assert all(w.shape == (d, d) for w in weights)
+
+
+class TestTraining:
+    def test_fit_reduces_mse(self, approximator, small_setup):
+        _, _, trajectories = small_setup
+        history = approximator.fit(
+            trajectories, Hausdorff(), epochs=5, pairs_per_epoch=64,
+            batch_size=16, rng=np.random.default_rng(1),
+        )
+        assert len(history.losses) == 5
+        assert history.losses[-1] < history.losses[0]
+
+    def test_fit_needs_pairs(self, approximator):
+        with pytest.raises(ValueError):
+            approximator.fit([make_trajectories(1)[0]], Hausdorff())
+
+    def test_target_scale_recorded(self, approximator, small_setup):
+        _, _, trajectories = small_setup
+        approximator.fit(trajectories, Hausdorff(), epochs=1, pairs_per_epoch=32,
+                         rng=np.random.default_rng(2))
+        assert approximator.target_scale > 0
+
+    def test_distance_matrix_shape_and_scale(self, approximator, small_setup):
+        _, _, trajectories = small_setup
+        approximator.fit(trajectories, Hausdorff(), epochs=2, pairs_per_epoch=64,
+                         rng=np.random.default_rng(3))
+        matrix = approximator.distance_matrix(trajectories[:3], trajectories[:6])
+        assert matrix.shape == (3, 6)
+        assert (matrix >= 0).all()
+        np.testing.assert_allclose(np.diag(matrix[:, :3]), 0.0, atol=1e-8)
+
+    def test_approximation_correlates_with_target(self, small_model, small_setup):
+        """After fine-tuning, predicted distances should rank pairs roughly
+        like the heuristic (the substance of Table X)."""
+        _, _, trajectories = small_setup
+        approx = HeuristicApproximator(small_model, mode="all",
+                                       rng=np.random.default_rng(4))
+        measure = Hausdorff()
+        approx.fit(trajectories, measure, epochs=12, pairs_per_epoch=256,
+                   batch_size=32, lr=2e-3, rng=np.random.default_rng(5))
+
+        queries = trajectories[:4]
+        database = trajectories[4:20]
+        predicted = approx.distance_matrix(queries, database)
+        actual = measure.pairwise(queries, database)
+        # Spearman rank correlation per query row.
+        from scipy.stats import spearmanr
+
+        correlations = [
+            spearmanr(predicted[i], actual[i]).statistic for i in range(len(queries))
+        ]
+        assert np.mean(correlations) > 0.4, f"rank correlation too low: {correlations}"

@@ -1,0 +1,219 @@
+"""Tests for the synthetic city generator, presets, splits and query protocol."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CITY_PRESETS,
+    PORTO,
+    XIAN,
+    CityPreset,
+    build_query_database,
+    distort,
+    downsample,
+    downstream_split,
+    generate_city,
+    generate_trajectory,
+    get_preset,
+    odd_even_split,
+    partition,
+    perturb_instance,
+)
+
+TINY = CityPreset(
+    name="tiny", extent=2000.0, block=200.0, trip_length_mean=1500.0,
+    trip_length_sigma=0.3, point_spacing=50.0, gps_noise=5.0,
+    min_points=10, max_points=60,
+)
+
+
+class TestGenerator:
+    def test_point_count_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            t = generate_trajectory(TINY, rng)
+            assert TINY.min_points <= len(t) <= TINY.max_points
+
+    def test_points_near_city_extent(self):
+        trajs = generate_city(TINY, 20, seed=1)
+        for t in trajs:
+            # GPS noise can spill slightly past the border
+            assert t.min() > -100 and t.max() < TINY.extent + 100
+
+    def test_deterministic_given_seed(self):
+        a = generate_city(TINY, 5, seed=7)
+        b = generate_city(TINY, 5, seed=7)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_different_seeds_differ(self):
+        a = generate_city(TINY, 3, seed=1)
+        b = generate_city(TINY, 3, seed=2)
+        assert not all(
+            x.shape == y.shape and np.allclose(x, y) for x, y in zip(a, b)
+        )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_city(TINY, -1)
+
+    def test_trajectories_follow_roads(self):
+        """Points should hug the lattice: deviation from the nearest road
+        line is bounded by the GPS noise."""
+        trajs = generate_city(TINY, 10, seed=3)
+        for t in trajs:
+            dx = np.abs(t[:, 0] % TINY.block - 0)  # distance to vertical road
+            dx = np.minimum(dx, TINY.block - dx)
+            dy = np.abs(t[:, 1] % TINY.block - 0)
+            dy = np.minimum(dy, TINY.block - dy)
+            on_road = np.minimum(dx, dy)  # on a road if near either line set
+            assert np.quantile(on_road, 0.9) < 6 * TINY.gps_noise
+
+
+class TestPresets:
+    def test_registry_contents(self):
+        assert set(CITY_PRESETS) == {"porto", "chengdu", "xian", "germany"}
+        assert get_preset("porto") is PORTO
+        with pytest.raises(KeyError):
+            get_preset("london")
+
+    @pytest.mark.parametrize(
+        "name,target_points,target_km",
+        [("porto", 48, 6.37), ("chengdu", 105, 3.47),
+         ("xian", 118, 3.25), ("germany", 72, 252.49)],
+    )
+    def test_calibration_to_table2(self, name, target_points, target_km):
+        """Statistics should land within ~30% of the paper's Table II."""
+        trajs = generate_city(get_preset(name), 60, seed=0)
+        avg_points = np.mean([len(t) for t in trajs])
+        avg_km = np.mean(
+            [np.linalg.norm(np.diff(t, axis=0), axis=1).sum() for t in trajs]
+        ) / 1000.0
+        assert abs(avg_points - target_points) / target_points < 0.3
+        assert abs(avg_km - target_km) / target_km < 0.3
+
+    def test_density_contrast(self):
+        """Xi'an must be denser (points per km) than Porto — Table II."""
+        porto = generate_city(PORTO, 30, seed=1)
+        xian = generate_city(XIAN, 30, seed=1)
+
+        def density(trajs):
+            pts = sum(len(t) for t in trajs)
+            km = sum(np.linalg.norm(np.diff(t, axis=0), axis=1).sum() for t in trajs) / 1000
+            return pts / km
+
+        assert density(xian) > 2 * density(porto)
+
+
+class TestOddEvenSplit:
+    def test_partition_is_exact(self):
+        t = np.arange(20, dtype=float).reshape(10, 2)
+        odd, even = odd_even_split(t)
+        np.testing.assert_array_equal(odd, t[0::2])
+        np.testing.assert_array_equal(even, t[1::2])
+        assert len(odd) + len(even) == len(t)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            odd_even_split(np.zeros((3, 2)))
+
+
+class TestQueryDatabase:
+    def make_pool(self, n=40, seed=0):
+        return generate_city(TINY, n, seed=seed)
+
+    def test_shapes_and_ground_truth(self):
+        pool = self.make_pool()
+        instance = build_query_database(pool, n_queries=5, database_size=20,
+                                        rng=np.random.default_rng(1))
+        assert len(instance.queries) == 5
+        assert len(instance.database) == 20
+        assert instance.ground_truth.shape == (5,)
+        assert len(np.unique(instance.ground_truth)) == 5
+
+    def test_ground_truth_is_even_half(self):
+        pool = self.make_pool()
+        instance = build_query_database(pool, n_queries=3, database_size=15,
+                                        rng=np.random.default_rng(2))
+        for query, truth_idx in zip(instance.queries, instance.ground_truth):
+            truth = instance.database[truth_idx]
+            # query = odd half, truth = even half: interleaving reconstructs
+            # a trajectory whose length is |q| + |t|
+            assert abs(len(query) - len(truth)) <= 1
+            # they must come from the same source: start points within one step
+            assert np.linalg.norm(query[0] - truth[0]) < 3 * TINY.point_spacing
+
+    def test_validation(self):
+        pool = self.make_pool(10)
+        with pytest.raises(ValueError):
+            build_query_database(pool, n_queries=0, database_size=5)
+        with pytest.raises(ValueError):
+            build_query_database(pool, n_queries=5, database_size=3)
+        with pytest.raises(ValueError):
+            build_query_database(pool, n_queries=5, database_size=100)
+
+
+class TestPerturbations:
+    def test_downsample_rate(self):
+        t = np.arange(4000, dtype=float).reshape(2000, 2)
+        out = downsample(t, 0.3, np.random.default_rng(0))
+        assert abs(len(out) / len(t) - 0.7) < 0.05
+
+    def test_downsample_min_keep(self):
+        t = np.arange(8, dtype=float).reshape(4, 2)
+        out = downsample(t, 0.99, np.random.default_rng(1))
+        assert len(out) >= 2
+
+    def test_downsample_invalid_rate(self):
+        with pytest.raises(ValueError):
+            downsample(np.zeros((5, 2)), 1.0, np.random.default_rng(0))
+
+    def test_distort_rate_and_bound(self):
+        t = np.zeros((5000, 2))
+        out = distort(t, 0.4, np.random.default_rng(2), radius=50.0)
+        moved = (np.abs(out) > 1e-12).any(axis=1)
+        assert abs(moved.mean() - 0.4) < 0.05
+        assert np.abs(out).max() <= 50.0 + 1e-9
+
+    def test_distort_zero_rate_identity(self):
+        t = np.random.default_rng(3).standard_normal((20, 2))
+        out = distort(t, 0.0, np.random.default_rng(4))
+        np.testing.assert_array_equal(out, t)
+
+    def test_perturb_instance_applies_to_all(self):
+        pool = generate_city(TINY, 30, seed=5)
+        instance = build_query_database(pool, n_queries=3, database_size=10,
+                                        rng=np.random.default_rng(6))
+        perturbed = perturb_instance(instance, "downsample", 0.3,
+                                     np.random.default_rng(7))
+        assert all(len(q2) <= len(q1) for q1, q2 in
+                   zip(instance.queries, perturbed.queries))
+        np.testing.assert_array_equal(perturbed.ground_truth, instance.ground_truth)
+        with pytest.raises(KeyError):
+            perturb_instance(instance, "bogus", 0.3, np.random.default_rng(8))
+
+
+class TestSplits:
+    def test_partition_sizes_and_disjointness(self):
+        pool = [np.full((4, 2), float(i)) for i in range(100)]
+        splits = partition(pool, n_train=40, n_test=30, n_downstream=10,
+                           validation_fraction=0.1, rng=np.random.default_rng(0))
+        assert len(splits.train) == 40
+        assert len(splits.validation) == 4
+        assert len(splits.test) == 30
+        assert len(splits.downstream) == 10
+        seen = [t[0, 0] for part in
+                (splits.train, splits.validation, splits.test, splits.downstream)
+                for t in part]
+        assert len(seen) == len(set(seen)), "splits overlap"
+
+    def test_partition_pool_too_small(self):
+        with pytest.raises(ValueError):
+            partition([np.zeros((4, 2))] * 10, n_train=8, n_test=4, n_downstream=0)
+
+    def test_downstream_split_ratios(self):
+        pool = [np.full((4, 2), float(i)) for i in range(100)]
+        train, val, test = downstream_split(pool, rng=np.random.default_rng(1))
+        assert len(train) == 70
+        assert len(val) == 10
+        assert len(test) == 20

@@ -1,0 +1,126 @@
+"""Tests for ranking / hit-ratio metrics, timing, and the experiment pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    Stopwatch,
+    approximation_metrics,
+    distance_matrix_of,
+    evaluate_mean_rank,
+    format_table,
+    hit_ratio,
+    make_instance,
+    mean_rank,
+    ranks_of_truth,
+    recall_n_at_m,
+    time_callable,
+)
+from repro.datasets import generate_city, get_preset
+from repro.measures import Hausdorff
+
+
+class TestRanks:
+    def test_perfect_measure_ranks_one(self):
+        matrix = np.array([[0.0, 5.0, 9.0], [7.0, 0.0, 3.0]])
+        np.testing.assert_array_equal(ranks_of_truth(matrix, [0, 1]), [1, 1])
+
+    def test_rank_counts_better_entries(self):
+        matrix = np.array([[3.0, 1.0, 2.0, 5.0]])
+        assert ranks_of_truth(matrix, [0])[0] == 3
+
+    def test_ties_are_pessimistic(self):
+        matrix = np.array([[2.0, 2.0, 2.0]])
+        assert ranks_of_truth(matrix, [1])[0] == 3
+
+    def test_mean_rank(self):
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert mean_rank(matrix, [0, 0]) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ranks_of_truth(np.zeros(3), [0])
+        with pytest.raises(ValueError):
+            ranks_of_truth(np.zeros((2, 3)), [0])
+
+
+class TestHitRatio:
+    def test_identical_matrices_hit_everything(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((4, 30))
+        assert hit_ratio(matrix, matrix, k=5) == 1.0
+        assert recall_n_at_m(matrix, matrix, 5, 20) == 1.0
+
+    def test_reversed_ranking_misses(self):
+        matrix = np.arange(30, dtype=float)[None, :]
+        assert hit_ratio(-matrix, matrix, k=5) == 0.0
+
+    def test_partial_overlap(self):
+        truth = np.array([[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]])
+        predicted = np.array([[0.0, 1.0, 5.0, 4.0, 3.0, 2.0]])
+        # true top-2 {0,1}; predicted top-2 {0,1} -> HR@2 = 1
+        assert hit_ratio(predicted, truth, k=2) == 1.0
+        # true top-3 {0,1,2}; predicted top-3 {0,1,5} -> 2/3
+        assert hit_ratio(predicted, truth, k=3) == pytest.approx(2 / 3)
+
+    def test_r5_at_20_requires_n_le_m(self):
+        with pytest.raises(ValueError):
+            recall_n_at_m(np.zeros((1, 30)), np.zeros((1, 30)), n=21, m=20)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hit_ratio(np.zeros((2, 5)), np.zeros((3, 5)), k=2)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            pass
+        with watch.measure("a"):
+            pass
+        assert len(watch.records["a"]) == 2
+        assert watch.total("a") >= 0
+        assert watch.mean("a") >= 0
+
+    def test_time_callable(self):
+        assert time_callable(lambda: sum(range(100))) >= 0
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        text = format_table(["name", "value"], [["porto", 1.2345], ["xian", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "porto" in lines[2]
+        assert "1.234" in lines[2] or "1.235" in lines[2]
+
+
+class TestExperimentHelpers:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        return generate_city(get_preset("porto"), 60, seed=0)
+
+    def test_make_instance_and_mean_rank_with_heuristic(self, pool):
+        instance = make_instance(pool, n_queries=5, database_size=30, seed=1)
+        rank = evaluate_mean_rank(Hausdorff(), instance)
+        assert 1.0 <= rank <= 30.0
+
+    def test_hausdorff_finds_odd_even_pairs(self, pool):
+        """The odd/even halves of one trajectory are extremely similar, so
+        even a heuristic should rank the truth near the top."""
+        instance = make_instance(pool, n_queries=8, database_size=40, seed=2)
+        rank = evaluate_mean_rank(Hausdorff(), instance)
+        assert rank < 5.0
+
+    def test_distance_matrix_of_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            distance_matrix_of(object(), [], [])
+
+    def test_approximation_metrics_keys(self, pool):
+        measure = Hausdorff()
+        metrics = approximation_metrics(measure, measure, pool[:4], pool[:30])
+        assert set(metrics) == {"hr5", "hr20", "r5at20"}
+        assert metrics["hr5"] == 1.0  # measure approximates itself perfectly

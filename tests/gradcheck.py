@@ -1,0 +1,55 @@
+"""Finite-difference gradient checking used across the nn test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(f: Callable[[], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. array ``x`` (in place)."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        f_plus = f()
+        flat_x[i] = original - eps
+        f_minus = f()
+        flat_x[i] = original
+        flat_g[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def assert_gradients_close(
+    forward: Callable[[Sequence[Tensor]], Tensor],
+    arrays: Sequence[np.ndarray],
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> None:
+    """Compare analytic and numeric gradients of ``forward``.
+
+    ``forward`` receives freshly wrapped tensors for ``arrays`` each call and
+    must return a scalar Tensor.
+    """
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = forward(tensors)
+    assert out.size == 1, "gradcheck requires a scalar output"
+    out.backward()
+
+    for idx, (tensor, array) in enumerate(zip(tensors, arrays)):
+        def scalar() -> float:
+            fresh = [Tensor(a) for a in arrays]
+            return float(forward(fresh).data)
+
+        expected = numeric_gradient(scalar, array)
+        actual = tensor.grad
+        assert actual is not None, f"missing gradient for input {idx}"
+        np.testing.assert_allclose(
+            actual, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {idx}",
+        )

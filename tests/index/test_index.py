@@ -1,0 +1,217 @@
+"""Tests for brute-force / IVF vector indexes and the segment Hausdorff index."""
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    BruteForceIndex,
+    IVFFlatIndex,
+    SegmentHausdorffIndex,
+    kmeans,
+    pairwise_distances,
+)
+from repro.measures import hausdorff_distance
+
+RNG = np.random.default_rng(97)
+
+
+class TestPairwiseDistances:
+    def test_l1_matches_direct(self):
+        q, d = RNG.standard_normal((5, 8)), RNG.standard_normal((7, 8))
+        expected = np.abs(q[:, None] - d[None]).sum(axis=2)
+        np.testing.assert_allclose(pairwise_distances(q, d, "l1"), expected)
+
+    def test_l2_matches_direct(self):
+        q, d = RNG.standard_normal((5, 8)), RNG.standard_normal((7, 8))
+        expected = np.linalg.norm(q[:, None] - d[None], axis=2)
+        np.testing.assert_allclose(pairwise_distances(q, d, "l2"), expected, atol=1e-9)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((1, 2)), np.zeros((1, 2)), "cosine")
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        data = np.concatenate([
+            rng.standard_normal((50, 2)) + offset
+            for offset in [(0, 0), (20, 0), (0, 20)]
+        ])
+        centers, assignment = kmeans(data, 3, rng=rng)
+        assert centers.shape == (3, 2)
+        # Every cluster should be nearly pure.
+        for group in range(3):
+            labels = assignment[group * 50:(group + 1) * 50]
+            counts = np.bincount(labels, minlength=3)
+            assert counts.max() >= 48
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 6)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)
+
+    def test_duplicate_points_handled(self):
+        data = np.ones((20, 3))
+        centers, assignment = kmeans(data, 3, rng=np.random.default_rng(1))
+        assert np.isfinite(centers).all()
+
+
+class TestBruteForceIndex:
+    def test_exact_nearest(self):
+        index = BruteForceIndex(4, metric="l1")
+        data = RNG.standard_normal((50, 4))
+        index.add(data)
+        query = data[17] + 0.001
+        distances, indices = index.search(query, k=1)
+        assert indices[0, 0] == 17
+
+    def test_sorted_results(self):
+        index = BruteForceIndex(4)
+        index.add(RNG.standard_normal((30, 4)))
+        distances, _ = index.search(RNG.standard_normal((3, 4)), k=10)
+        assert (np.diff(distances, axis=1) >= 0).all()
+
+    def test_k_capped_at_size(self):
+        index = BruteForceIndex(2)
+        index.add(RNG.standard_normal((3, 2)))
+        distances, indices = index.search(np.zeros(2), k=10)
+        assert indices.shape == (1, 3)
+
+    def test_empty_search_raises(self):
+        with pytest.raises(RuntimeError):
+            BruteForceIndex(2).search(np.zeros(2), 1)
+
+    def test_dim_validation(self):
+        index = BruteForceIndex(3)
+        with pytest.raises(ValueError):
+            index.add(np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            BruteForceIndex(2, metric="cosine")
+
+
+class TestIVFFlatIndex:
+    def build(self, n=400, dim=8, n_lists=8, seed=0):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, dim))
+        index = IVFFlatIndex(dim, n_lists=n_lists, n_probe=2)
+        index.train(data, rng=rng)
+        index.add(data)
+        return index, data
+
+    def test_add_before_train_raises(self):
+        index = IVFFlatIndex(4)
+        with pytest.raises(RuntimeError):
+            index.add(np.zeros((2, 4)))
+
+    def test_train_needs_enough_vectors(self):
+        index = IVFFlatIndex(4, n_lists=16)
+        with pytest.raises(ValueError):
+            index.train(np.zeros((4, 4)))
+
+    def test_search_shapes(self):
+        index, data = self.build()
+        distances, indices = index.search(data[:5], k=3)
+        assert distances.shape == (5, 3)
+        assert indices.shape == (5, 3)
+
+    def test_self_query_finds_self_with_full_probe(self):
+        index, data = self.build()
+        _, indices = index.search(data[:20], k=1, n_probe=index.n_lists)
+        np.testing.assert_array_equal(indices[:, 0], np.arange(20))
+
+    def test_recall_improves_with_probe(self):
+        index, data = self.build(n=600, n_lists=12, seed=1)
+        truth = BruteForceIndex(8)
+        truth.add(data)
+        queries = np.random.default_rng(2).standard_normal((40, 8))
+        _, exact = truth.search(queries, k=5)
+
+        def recall(n_probe):
+            _, approx = index.search(queries, k=5, n_probe=n_probe)
+            hits = sum(
+                len(set(approx[i]) & set(exact[i])) for i in range(len(queries))
+            )
+            return hits / exact.size
+
+        low = recall(1)
+        high = recall(12)
+        assert high >= low
+        assert high > 0.95, f"full probe recall {high}"
+
+    def test_memory_accounting(self):
+        index, data = self.build()
+        assert index.memory_bytes >= data.nbytes
+
+    def test_incremental_add(self):
+        index, data = self.build(n=100)
+        more = np.random.default_rng(3).standard_normal((50, 8))
+        index.add(more)
+        assert len(index) == 150
+        _, indices = index.search(more[:3], k=1, n_probe=index.n_lists)
+        np.testing.assert_array_equal(indices[:, 0], [100, 101, 102])
+
+
+def random_trajectories(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        length = int(rng.integers(10, 30))
+        start = rng.uniform(0, 5000, size=2)
+        out.append(start + np.cumsum(rng.standard_normal((length, 2)) * 40, axis=0))
+    return out
+
+
+class TestSegmentHausdorffIndex:
+    def test_knn_matches_bruteforce(self):
+        trajs = random_trajectories()
+        index = SegmentHausdorffIndex(bucket_size=400)
+        index.build(trajs)
+        query = trajs[7]
+        distances, indices = index.knn(query, k=5)
+        exact = np.array([hausdorff_distance(query, t) for t in trajs])
+        expected = np.argsort(exact)[:5]
+        np.testing.assert_array_equal(np.sort(indices), np.sort(expected))
+        np.testing.assert_allclose(distances, np.sort(exact)[:5], atol=1e-9)
+
+    def test_self_is_nearest(self):
+        trajs = random_trajectories(seed=1)
+        index = SegmentHausdorffIndex()
+        index.build(trajs)
+        _, indices = index.knn(trajs[3], k=1)
+        assert indices[0] == 3
+
+    def test_pruning_skips_evaluations(self):
+        trajs = random_trajectories(n=200, seed=2)
+        index = SegmentHausdorffIndex(bucket_size=400)
+        index.build(trajs)
+        index.knn(trajs[0], k=3)
+        assert index.last_exact_evaluations < len(trajs), (
+            "lower-bound pruning should avoid scanning every trajectory"
+        )
+
+    def test_lower_bound_is_valid(self):
+        trajs = random_trajectories(n=40, seed=3)
+        index = SegmentHausdorffIndex()
+        index.build(trajs)
+        query = trajs[11]
+        bounds = index.lower_bound(np.asarray(query))
+        exact = np.array([hausdorff_distance(query, t) for t in trajs])
+        assert (bounds <= exact + 1e-9).all()
+
+    def test_memory_grows_with_segments(self):
+        small = SegmentHausdorffIndex()
+        small.build(random_trajectories(n=10, seed=4))
+        large = SegmentHausdorffIndex()
+        large.build(random_trajectories(n=100, seed=4))
+        assert large.memory_bytes > small.memory_bytes
+
+    def test_build_validation(self):
+        with pytest.raises(ValueError):
+            SegmentHausdorffIndex().build([])
+        with pytest.raises(ValueError):
+            SegmentHausdorffIndex(bucket_size=0)
+        index = SegmentHausdorffIndex()
+        with pytest.raises(RuntimeError):
+            index.knn(np.zeros((3, 2)), 1)

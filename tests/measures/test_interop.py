@@ -1,0 +1,62 @@
+"""Cross-module interop tests: measures/models accept every trajectory form."""
+
+import numpy as np
+import pytest
+
+from repro.measures import available_measures, get_measure
+from repro.trajectory import Trajectory
+
+
+def walk(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal((n, 2)) * 20, axis=0)
+
+
+@pytest.mark.parametrize("name", ["hausdorff", "frechet", "edr", "edwp"])
+class TestMeasureInputForms:
+    def test_accepts_trajectory_objects(self, name):
+        measure = get_measure(name)
+        a, b = Trajectory(walk(10, 1)), Trajectory(walk(12, 2))
+        assert measure.distance(a, b) == pytest.approx(
+            measure.distance(a.points, b.points)
+        )
+
+    def test_accepts_nested_lists(self, name):
+        measure = get_measure(name)
+        a = walk(8, 3)
+        assert measure.distance(a.tolist(), a.tolist()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_bad_shapes(self, name):
+        measure = get_measure(name)
+        with pytest.raises(ValueError):
+            measure.distance(np.zeros((3, 3)), walk(5))
+
+    def test_registry_covers_class(self, name):
+        assert name in available_measures()
+
+
+class TestScaleBehaviour:
+    """Distances must scale sensibly under uniform coordinate scaling."""
+
+    @pytest.mark.parametrize("name", ["hausdorff", "frechet"])
+    def test_metric_measures_scale_linearly(self, name):
+        measure = get_measure(name)
+        a, b = walk(10, 4), walk(12, 5)
+        base = measure.distance(a, b)
+        scaled = measure.distance(3.0 * a, 3.0 * b)
+        assert scaled == pytest.approx(3.0 * base, rel=1e-9)
+
+    def test_edr_is_scale_covariant_with_epsilon(self):
+        a, b = walk(10, 6), walk(12, 7)
+        base = get_measure("edr", epsilon=50.0).distance(a, b)
+        scaled = get_measure("edr", epsilon=150.0).distance(3.0 * a, 3.0 * b)
+        assert scaled == base
+
+    @pytest.mark.parametrize("name", ["hausdorff", "frechet", "edr", "edwp"])
+    def test_translation_invariance(self, name):
+        measure = get_measure(name)
+        a, b = walk(10, 8), walk(12, 9)
+        offset = np.array([1234.5, -678.9])
+        assert measure.distance(a + offset, b + offset) == pytest.approx(
+            measure.distance(a, b), rel=1e-9
+        )

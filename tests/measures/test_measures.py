@@ -1,0 +1,260 @@
+"""Tests for the heuristic similarity measures (Hausdorff, Fréchet, EDR, EDwP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.measures import (
+    EDR,
+    EDwP,
+    Frechet,
+    Hausdorff,
+    available_measures,
+    edr_distance,
+    edwp_distance,
+    frechet_distance,
+    get_measure,
+    hausdorff_distance,
+)
+
+RNG = np.random.default_rng(17)
+
+traj_strategy = arrays(
+    np.float64, st.tuples(st.integers(2, 15), st.just(2)),
+    elements=st.floats(-1e3, 1e3, allow_nan=False),
+)
+
+
+def random_walk(n=20, step=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal((n, 2)) * step, axis=0)
+
+
+ALL_DISTANCES = [hausdorff_distance, frechet_distance, edr_distance, edwp_distance]
+
+
+class TestSharedProperties:
+    @pytest.mark.parametrize("dist", ALL_DISTANCES)
+    def test_identity(self, dist):
+        t = random_walk(15, seed=1)
+        assert dist(t, t) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("dist", ALL_DISTANCES)
+    def test_symmetry(self, dist):
+        a, b = random_walk(12, seed=2), random_walk(17, seed=3)
+        assert dist(a, b) == pytest.approx(dist(b, a), rel=1e-9)
+
+    @pytest.mark.parametrize("dist", ALL_DISTANCES)
+    def test_non_negative(self, dist):
+        a, b = random_walk(10, seed=4), random_walk(10, seed=5)
+        assert dist(a, b) >= 0.0
+
+    @pytest.mark.parametrize("dist", ALL_DISTANCES)
+    def test_translation_increases_distance(self, dist):
+        a = random_walk(15, seed=6)
+        near = a + 1.0
+        far = a + 5000.0
+        assert dist(a, far) > dist(a, near)
+
+    @settings(max_examples=20, deadline=None)
+    @given(traj_strategy, traj_strategy)
+    def test_property_symmetry_hausdorff_frechet(self, a, b):
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+        assert frechet_distance(a, b) == pytest.approx(frechet_distance(b, a))
+
+
+class TestHausdorff:
+    def test_known_value(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0], [1.0, 3.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(3.0)
+
+    def test_order_invariance(self):
+        """Hausdorff treats trajectories as point sets."""
+        a = random_walk(10, seed=7)
+        shuffled = a[np.random.default_rng(0).permutation(len(a))]
+        assert hausdorff_distance(a, shuffled) == pytest.approx(0.0)
+
+    def test_asymmetric_coverage(self):
+        # b covers a, plus a far-away point: directed distances differ.
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 0.0], [1.0, 0.0], [100.0, 0.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(99.0)
+
+    def test_triangle_inequality_samples(self):
+        for seed in range(5):
+            a = random_walk(8, seed=3 * seed)
+            b = random_walk(9, seed=3 * seed + 1)
+            c = random_walk(10, seed=3 * seed + 2)
+            assert hausdorff_distance(a, c) <= (
+                hausdorff_distance(a, b) + hausdorff_distance(b, c) + 1e-9
+            )
+
+
+class TestFrechet:
+    def test_known_value_parallel_lines(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        b = a + np.array([0.0, 2.0])
+        assert frechet_distance(a, b) == pytest.approx(2.0)
+
+    def test_at_least_hausdorff(self):
+        """Discrete Fréchet upper-bounds Hausdorff for any pair."""
+        for seed in range(8):
+            a = random_walk(12, seed=seed)
+            b = random_walk(15, seed=seed + 100)
+            assert frechet_distance(a, b) >= hausdorff_distance(a, b) - 1e-9
+
+    def test_order_sensitivity(self):
+        """Unlike Hausdorff, Fréchet penalizes reversed traversal."""
+        a = np.stack([np.linspace(0, 100, 20), np.zeros(20)], axis=1)
+        reversed_a = a[::-1].copy()
+        assert frechet_distance(a, reversed_a) > 50.0
+        assert hausdorff_distance(a, reversed_a) == pytest.approx(0.0)
+
+    def test_single_point_vs_line(self):
+        point = np.array([[0.0, 0.0]])
+        line = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert frechet_distance(point, line) == pytest.approx(10.0)
+
+
+class TestEDR:
+    def test_identical_is_zero(self):
+        t = random_walk(10, seed=9)
+        assert edr_distance(t, t, epsilon=1.0) == 0.0
+
+    def test_completely_different_is_max_length(self):
+        a = np.zeros((5, 2))
+        b = np.full((7, 2), 1e6)
+        assert edr_distance(a, b, epsilon=1.0) == 7.0
+
+    def test_one_substitution(self):
+        a = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        b = a.copy()
+        b[1] += 500.0
+        assert edr_distance(a, b, epsilon=1.0) == 1.0
+
+    def test_length_difference_costs_insertions(self):
+        a = np.stack([np.arange(5, dtype=float) * 1000, np.zeros(5)], axis=1)
+        b = a[:3]
+        assert edr_distance(a, b, epsilon=1.0) == 2.0
+
+    def test_epsilon_controls_matching(self):
+        a = random_walk(10, seed=10)
+        b = a + 5.0
+        strict = edr_distance(a, b, epsilon=0.1)
+        lenient = edr_distance(a, b, epsilon=100.0)
+        assert strict == 10.0
+        assert lenient == 0.0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            edr_distance(random_walk(5), random_walk(5), epsilon=-1.0)
+        with pytest.raises(ValueError):
+            EDR(epsilon=-1.0)
+
+    def test_bounded_by_max_length(self):
+        for seed in range(5):
+            a = random_walk(8, seed=seed)
+            b = random_walk(13, seed=seed + 50)
+            assert edr_distance(a, b) <= 13.0
+
+
+class TestEDwP:
+    def test_identical_is_zero(self):
+        t = random_walk(10, seed=11)
+        assert edwp_distance(t, t) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_points(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert edwp_distance(a, b) == pytest.approx(5.0)
+
+    def test_robust_to_downsampling(self):
+        """EDwP's projections absorb resampling — the paper's Table IV story.
+
+        A densified version of the same path must stay much closer (per
+        EDwP) than a genuinely different path of equal point count.
+        """
+        base = np.stack([np.linspace(0, 1000, 11), np.zeros(11)], axis=1)
+        dense = np.stack([np.linspace(0, 1000, 21), np.zeros(21)], axis=1)
+        shifted = dense + np.array([0.0, 400.0])
+        same_path = edwp_distance(base, dense)
+        different_path = edwp_distance(base, shifted)
+        assert same_path < different_path * 0.1
+
+    def test_scale_sensitivity(self):
+        a = random_walk(10, seed=12)
+        assert edwp_distance(a, a + 2000.0) > edwp_distance(a, a + 10.0)
+
+
+class TestVectorizedAgainstReference:
+    """The vectorized DP rewrites must match the double-loop oracles exactly."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(traj_strategy, traj_strategy)
+    def test_property_edr_matches_reference(self, a, b):
+        from repro.measures.edr import edr_distance_reference
+
+        assert edr_distance(a, b, epsilon=50.0) == pytest.approx(
+            edr_distance_reference(a, b, epsilon=50.0)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(traj_strategy, traj_strategy)
+    def test_property_frechet_matches_reference(self, a, b):
+        from repro.measures.frechet import frechet_distance_reference
+
+        assert frechet_distance(a, b) == pytest.approx(
+            frechet_distance_reference(a, b)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(traj_strategy, traj_strategy)
+    def test_property_edwp_matches_reference(self, a, b):
+        from repro.measures.edwp import edwp_distance_reference
+
+        assert edwp_distance(a, b) == pytest.approx(
+            edwp_distance_reference(a, b), rel=1e-9, abs=1e-9
+        )
+
+    def test_edwp_single_point_edge_cases(self):
+        from repro.measures.edwp import edwp_distance_reference
+
+        point = np.array([[1.0, 2.0]])
+        line = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        assert edwp_distance(point, line) == pytest.approx(
+            edwp_distance_reference(point, line)
+        )
+        assert edwp_distance(line, point) == pytest.approx(
+            edwp_distance_reference(line, point)
+        )
+
+
+class TestRegistry:
+    def test_available_measures(self):
+        names = available_measures()
+        assert {"hausdorff", "frechet", "edr", "edwp"} <= set(names)
+
+    def test_get_measure_instances(self):
+        assert isinstance(get_measure("hausdorff"), Hausdorff)
+        assert isinstance(get_measure("frechet"), Frechet)
+        assert isinstance(get_measure("edr"), EDR)
+        assert isinstance(get_measure("edwp"), EDwP)
+
+    def test_get_measure_kwargs(self):
+        measure = get_measure("edr", epsilon=42.0)
+        assert measure.epsilon == 42.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_measure("nope")
+
+    def test_pairwise_matrix(self):
+        trajs = [random_walk(8, seed=s) for s in range(4)]
+        matrix = get_measure("hausdorff").pairwise(trajs[:2], trajs)
+        assert matrix.shape == (2, 4)
+        assert matrix[0, 0] == pytest.approx(0.0)
+        assert matrix[1, 1] == pytest.approx(0.0)
+        assert (matrix >= 0).all()

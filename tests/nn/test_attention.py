@@ -1,0 +1,109 @@
+"""Tests for vanilla multi-head self-attention and transformer encoder."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+from ..gradcheck import assert_gradients_close
+
+RNG = np.random.default_rng(31)
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_and_attention_shapes(self):
+        msm = nn.MultiHeadSelfAttention(16, 4, rng=np.random.default_rng(0))
+        msm.eval()
+        out, attn = msm(nn.tensor(randn(2, 7, 16)))
+        assert out.shape == (2, 7, 16)
+        assert attn.shape == (2, 4, 7, 7)
+
+    def test_attention_rows_are_distributions(self):
+        msm = nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        msm.eval()
+        _, attn = msm(nn.tensor(randn(3, 5, 8)))
+        np.testing.assert_allclose(attn.data.sum(axis=-1), np.ones((3, 2, 5)), atol=1e-9)
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, 3)
+
+    def test_padding_mask_zeroes_attention(self):
+        msm = nn.MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(0))
+        msm.eval()
+        mask = np.zeros((2, 5), dtype=bool)
+        mask[:, 3:] = True
+        _, attn = msm(nn.tensor(randn(2, 5, 8)), key_padding_mask=mask)
+        np.testing.assert_allclose(attn.data[..., 3:], 0.0, atol=1e-12)
+
+    def test_padding_does_not_change_valid_outputs(self):
+        """Encoding [x ; padding] must equal encoding x at the valid rows."""
+        msm = nn.MultiHeadSelfAttention(8, 2, dropout=0.0, rng=np.random.default_rng(0))
+        msm.eval()
+        x = randn(1, 4, 8)
+        out_short, _ = msm(nn.tensor(x))
+        x_padded = np.concatenate([x, np.zeros((1, 3, 8))], axis=1)
+        mask = np.array([[False] * 4 + [True] * 3])
+        out_padded, _ = msm(nn.tensor(x_padded), key_padding_mask=mask)
+        np.testing.assert_allclose(out_padded.data[:, :4], out_short.data, atol=1e-10)
+
+    def test_gradients_reach_all_projections(self):
+        msm = nn.MultiHeadSelfAttention(8, 2, dropout=0.0, rng=np.random.default_rng(0))
+        out, _ = msm(nn.tensor(randn(2, 4, 8)))
+        out.sum().backward()
+        for name, p in msm.named_parameters():
+            assert p.grad is not None, f"no grad for {name}"
+            assert np.abs(p.grad).sum() > 0, f"zero grad for {name}"
+
+    def test_numeric_gradient_through_attention(self):
+        msm = nn.MultiHeadSelfAttention(4, 2, dropout=0.0, rng=np.random.default_rng(1))
+        msm.eval()
+        x = randn(1, 3, 4)
+
+        def forward(ts):
+            out, _ = msm(ts[0])
+            return (out ** 2).sum()
+
+        assert_gradients_close(forward, [x], atol=1e-5)
+
+
+class TestTransformerEncoder:
+    def test_stack_shapes(self):
+        enc = nn.TransformerEncoder(16, 4, num_layers=3, rng=np.random.default_rng(0))
+        enc.eval()
+        out, attn = enc(nn.tensor(randn(2, 6, 16)))
+        assert out.shape == (2, 6, 16)
+        assert attn.shape == (2, 4, 6, 6)
+        assert len(enc.layers) == 3
+
+    def test_returns_last_layer_attention(self):
+        """Paper: DualMSM fuses A_s 'of the last stacked layer'."""
+        enc = nn.TransformerEncoder(8, 2, num_layers=2, dropout=0.0,
+                                    rng=np.random.default_rng(0))
+        enc.eval()
+        x = nn.tensor(randn(1, 5, 8))
+        _, attn_stack = enc(x)
+        # Manually run the two layers and compare with the returned attention.
+        h, _ = enc.layers[0](x)
+        _, attn_manual = enc.layers[1](h)
+        np.testing.assert_allclose(attn_stack.data, attn_manual.data)
+
+    def test_encoder_trains_end_to_end(self):
+        rng = np.random.default_rng(5)
+        enc = nn.TransformerEncoder(8, 2, num_layers=1, dropout=0.0, rng=rng)
+        opt = nn.Adam(enc.parameters(), lr=1e-2)
+        x = randn(4, 5, 8)
+        target = randn(4, 5, 8)
+        losses = []
+        for _ in range(30):
+            opt.zero_grad()
+            out, _ = enc(nn.tensor(x))
+            loss = ((out - nn.tensor(target)) ** 2).mean()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.8, "encoder failed to fit a small target"

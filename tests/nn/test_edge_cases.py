@@ -1,0 +1,149 @@
+"""Edge-case and robustness tests across the nn substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+import repro.nn as nn
+import repro.nn.functional as F
+from repro.nn import Tensor
+
+
+RNG = np.random.default_rng(131)
+
+
+class TestTensorEdgeCases:
+    def test_scalar_tensor_operations(self):
+        x = nn.tensor(3.0, requires_grad=True)
+        y = x * x + x
+        y.backward()
+        assert x.grad == pytest.approx(7.0)
+
+    def test_zero_size_axis_sum(self):
+        x = nn.tensor(np.zeros((0, 4)))
+        assert x.sum(axis=0).shape == (4,)
+
+    def test_repr_does_not_crash_on_large(self):
+        assert "Tensor" in repr(nn.tensor(np.zeros((100, 100))))
+
+    def test_grad_not_shared_between_tensors(self):
+        x = nn.tensor([1.0], requires_grad=True)
+        y = nn.tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        assert y.grad is None
+
+    def test_pow_type_error(self):
+        x = nn.tensor([2.0], requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** nn.tensor([2.0])
+
+    def test_detach_shares_data(self):
+        x = nn.tensor([1.0, 2.0], requires_grad=True)
+        d = x.detach()
+        assert d.data is x.data
+
+    def test_copy_is_independent(self):
+        x = nn.tensor([1.0, 2.0])
+        c = x.copy()
+        c.data[0] = 99.0
+        assert x.data[0] == 1.0
+
+    def test_min_reduction_gradient(self):
+        x = Tensor(RNG.standard_normal((3, 4)), requires_grad=True)
+        x.min(axis=1).sum().backward()
+        # exactly one gradient entry per row (distinct values a.s.)
+        np.testing.assert_array_equal((x.grad != 0).sum(axis=1), np.ones(3))
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(np.float64, (3, 4), elements=st.floats(-5, 5, allow_nan=False)))
+    def test_property_backward_twice_accumulates(self, data):
+        x = Tensor(data.copy(), requires_grad=True)
+        (x * 2).sum().backward()
+        first = x.grad.copy()
+        (x * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+
+class TestModuleEdgeCases:
+    def test_sequential_getitem_and_len(self):
+        seq = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_module_list_iteration(self):
+        layers = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert sum(1 for _ in layers) == 3
+        assert layers[2] is list(layers)[2]
+
+    def test_empty_module_has_no_parameters(self):
+        class Empty(nn.Module):
+            pass
+
+        assert Empty().parameters() == []
+        assert Empty().num_parameters() == 0
+
+    def test_nested_state_dict_keys(self):
+        outer = nn.Sequential(nn.Sequential(nn.Linear(2, 2)))
+        keys = set(outer.state_dict())
+        assert keys == {"0.0.weight", "0.0.bias"}
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestNumericalStability:
+    def test_softmax_all_equal_logits(self):
+        out = F.softmax(nn.tensor(np.zeros((2, 5))))
+        np.testing.assert_allclose(out.data, 0.2)
+
+    def test_layer_norm_constant_rows(self):
+        x = nn.tensor(np.full((3, 8), 7.0))
+        out = F.layer_norm(x, Tensor(np.ones(8)), Tensor(np.zeros(8)))
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-3)
+
+    def test_normalize_zero_vector(self):
+        out = F.normalize(nn.tensor(np.zeros((2, 4))))
+        assert np.isfinite(out.data).all()
+
+    def test_cosine_zero_vectors(self):
+        zero = nn.tensor(np.zeros((2, 4)))
+        out = F.cosine_similarity(zero, zero)
+        assert np.isfinite(out.data).all()
+
+    def test_l2_distance_identical_points_has_finite_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = F.l2_distance(a, Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert np.isfinite(a.grad).all()
+
+    def test_adam_with_tiny_gradients(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(3):
+            opt.zero_grad()
+            (p * 1e-12).sum().backward()
+            opt.step()
+        assert np.isfinite(p.data).all()
+
+
+class TestGRULSTMEdgeCases:
+    def test_single_timestep(self):
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0))
+        seq, h = gru(nn.tensor(RNG.standard_normal((2, 1, 3))))
+        assert seq.shape == (2, 1, 4)
+        np.testing.assert_allclose(seq.data[:, 0], h.data)
+
+    def test_zero_length_sequence_keeps_initial_state(self):
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(0))
+        _, h = gru(nn.tensor(RNG.standard_normal((1, 5, 3))),
+                   lengths=np.array([0]))
+        np.testing.assert_allclose(h.data, 0.0)
+
+    def test_lstm_single_batch(self):
+        lstm = nn.LSTM(2, 3, rng=np.random.default_rng(0))
+        seq, h = lstm(nn.tensor(RNG.standard_normal((1, 4, 2))))
+        assert seq.shape == (1, 4, 3)

@@ -1,0 +1,178 @@
+"""Tests for fused functional ops (softmax, layer norm, pooling, distances)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+import repro.nn.functional as F
+from repro.nn import Tensor, tensor
+
+from ..gradcheck import assert_gradients_close
+
+RNG = np.random.default_rng(11)
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = F.softmax(tensor(randn(4, 7)), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_stability_with_large_logits(self):
+        out = F.softmax(tensor([[1000.0, 1000.0, -1000.0]]), axis=-1)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data[0, :2], [0.5, 0.5])
+
+    def test_gradient(self):
+        x = randn(3, 5)
+        assert_gradients_close(lambda ts: (F.softmax(ts[0]) ** 2).sum(), [x])
+
+    def test_log_softmax_consistency(self):
+        x = tensor(randn(2, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10
+        )
+
+    def test_log_softmax_gradient(self):
+        x = randn(3, 5)
+        coeff = randn(3, 5)
+        assert_gradients_close(lambda ts: (F.log_softmax(ts[0]) * coeff).sum(), [x])
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(np.float64, (3, 4), elements=st.floats(-10, 10, allow_nan=False)))
+    def test_property_shift_invariance(self, x):
+        """softmax(x + c) == softmax(x)."""
+        a = F.softmax(tensor(x)).data
+        b = F.softmax(tensor(x + 123.4)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self):
+        x = tensor(randn(4, 8) * 5 + 3)
+        gamma, beta = Tensor(np.ones(8)), Tensor(np.zeros(8))
+        out = F.layer_norm(x, gamma, beta).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-4)
+
+    def test_gradient_all_inputs(self):
+        x, gamma, beta = randn(3, 6), np.abs(randn(6)) + 0.5, randn(6)
+        assert_gradients_close(
+            lambda ts: (F.layer_norm(ts[0], ts[1], ts[2]) ** 2).sum(),
+            [x, gamma, beta],
+            atol=1e-5,
+        )
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = tensor(randn(5, 5))
+        out = F.dropout(x, p=0.5, training=False)
+        assert out is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = tensor(np.ones((200, 200)))
+        out = F.dropout(x, p=0.3, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_gradient_respects_mask(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(randn(6, 6), requires_grad=True)
+        out = F.dropout(x, p=0.5, training=True, rng=rng)
+        out.sum().backward()
+        zeroed = out.data == 0
+        assert (x.grad[zeroed] == 0).all()
+
+    def test_invalid_probability(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            F.dropout(tensor(randn(2, 2)), p=1.0, training=True)
+
+
+class TestMeanPool:
+    def test_full_lengths_equals_plain_mean(self):
+        x = randn(3, 5, 4)
+        np.testing.assert_allclose(
+            F.mean_pool(tensor(x), lengths=np.array([5, 5, 5])).data,
+            x.mean(axis=1),
+        )
+
+    def test_partial_lengths_ignore_padding(self):
+        x = randn(2, 4, 3)
+        x[0, 2:] = 999.0  # padded garbage must not affect the mean
+        out = F.mean_pool(tensor(x), lengths=np.array([2, 4])).data
+        np.testing.assert_allclose(out[0], x[0, :2].mean(axis=0))
+        np.testing.assert_allclose(out[1], x[1].mean(axis=0))
+
+    def test_gradient(self):
+        x = randn(2, 4, 3)
+        lengths = np.array([2, 3])
+        assert_gradients_close(
+            lambda ts: (F.mean_pool(ts[0], lengths=lengths) ** 2).sum(), [x]
+        )
+
+    def test_rejects_bad_rank(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            F.mean_pool(tensor(randn(3, 4)))
+
+
+class TestDistances:
+    def test_l1_matches_numpy(self):
+        a, b = randn(5, 8), randn(5, 8)
+        np.testing.assert_allclose(
+            F.l1_distance(tensor(a), tensor(b)).data,
+            np.abs(a - b).sum(axis=-1),
+        )
+
+    def test_l2_matches_numpy(self):
+        a, b = randn(5, 8), randn(5, 8)
+        np.testing.assert_allclose(
+            F.l2_distance(tensor(a), tensor(b)).data,
+            np.linalg.norm(a - b, axis=-1),
+            atol=1e-6,
+        )
+
+    def test_cosine_bounds_and_self_similarity(self):
+        a = randn(6, 4)
+        sim_self = F.cosine_similarity(tensor(a), tensor(a)).data
+        np.testing.assert_allclose(sim_self, np.ones(6), atol=1e-6)
+        b = randn(6, 4)
+        sim = F.cosine_similarity(tensor(a), tensor(b)).data
+        assert (sim <= 1.0 + 1e-9).all() and (sim >= -1.0 - 1e-9).all()
+
+    def test_normalize_unit_norm(self):
+        x = F.normalize(tensor(randn(7, 5)))
+        np.testing.assert_allclose(np.linalg.norm(x.data, axis=-1), np.ones(7), atol=1e-6)
+
+    def test_cosine_gradient(self):
+        a, b = randn(4, 5), randn(4, 5)
+        assert_gradients_close(
+            lambda ts: F.cosine_similarity(ts[0], ts[1]).sum(), [a, b], atol=1e-5
+        )
+
+
+class TestAttentionMaskBias:
+    def test_none_passthrough(self):
+        assert F.attention_mask_bias(None, 4) is None
+
+    def test_bias_shape_and_values(self):
+        mask = np.array([[False, True, True], [False, False, True]])
+        bias = F.attention_mask_bias(mask, num_heads=2)
+        assert bias.shape == (2, 1, 1, 3)
+        assert bias[0, 0, 0, 1] == -1e9
+        assert bias[0, 0, 0, 0] == 0.0
+
+    def test_masked_positions_get_zero_attention(self):
+        mask = np.array([[False, False, True]])
+        logits = tensor(np.zeros((1, 1, 3, 3)))
+        out = F.softmax(logits + F.attention_mask_bias(mask, 1), axis=-1)
+        np.testing.assert_allclose(out.data[0, 0, :, 2], np.zeros(3), atol=1e-12)
+        np.testing.assert_allclose(out.data[0, 0, 0, :2], [0.5, 0.5])

@@ -1,0 +1,208 @@
+"""Tests for optimizers, LR schedule, gradient clipping, and losses."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Parameter
+from repro.nn.losses import info_nce_loss, mse_loss, triplet_margin_loss, weighted_rank_loss
+
+RNG = np.random.default_rng(59)
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+def quadratic_param():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [0, 0], atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain = nn.SGD([p1], lr=0.01)
+        momentum = nn.SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for p, opt in [(p1, plain), (p2, momentum)]:
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+        assert np.abs(p2.data).sum() < np.abs(p1.data).sum()
+
+    def test_requires_trainable_params(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([quadratic_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [0, 0], atol=1e-4)
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first update ≈ lr * sign(grad).
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * 3.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1], atol=1e-6)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.05, weight_decay=1.0)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()  # zero data gradient; only decay acts
+            opt.step()
+        assert abs(p.item()) < 0.1
+
+    def test_skips_params_without_grad(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        opt = nn.Adam([p1, p2], lr=0.1)
+        (p1 * p1).sum().backward()
+        before = p2.data.copy()
+        opt.step()
+        np.testing.assert_allclose(p2.data, before)
+
+
+class TestStepLR:
+    def test_paper_schedule(self):
+        """lr 0.001 halved every 5 epochs (paper §V-A)."""
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=1e-3)
+        sched = nn.StepLR(opt, step_size=5, gamma=0.5)
+        lrs = []
+        for _ in range(12):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs[3], 1e-3)   # epoch 4
+        np.testing.assert_allclose(lrs[4], 5e-4)   # epoch 5
+        np.testing.assert_allclose(lrs[9], 2.5e-4)  # epoch 10
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(nn.Adam([quadratic_param()]), step_size=0)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        total = nn.clip_grad_norm([p], max_norm=1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients_alone(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        nn.clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, np.full(4, 0.1))
+
+
+class TestMSELoss:
+    def test_value(self):
+        pred = nn.tensor([[1.0, 2.0]], requires_grad=True)
+        loss = mse_loss(pred, np.array([[0.0, 0.0]]))
+        assert loss.item() == pytest.approx((1 + 4) / 2)
+
+    def test_gradient_direction(self):
+        pred = nn.tensor([2.0], requires_grad=True)
+        mse_loss(pred, np.array([0.0])).backward()
+        assert pred.grad[0] > 0
+
+
+class TestInfoNCE:
+    def test_perfect_alignment_gives_low_loss(self):
+        z = nn.tensor(np.eye(4)[:2], requires_grad=True)
+        z_pos = nn.tensor(np.eye(4)[:2])
+        negatives = -np.eye(4)[:3]
+        loss_aligned = info_nce_loss(z, z_pos, negatives, temperature=0.07)
+
+        z_bad = nn.tensor(-np.eye(4)[:2], requires_grad=True)
+        loss_misaligned = info_nce_loss(z_bad, z_pos, negatives, temperature=0.07)
+        assert loss_aligned.item() < loss_misaligned.item()
+
+    def test_no_negatives_degenerate_case(self):
+        z = nn.tensor(randn(3, 8), requires_grad=True)
+        loss = info_nce_loss(z, nn.tensor(randn(3, 8)), None)
+        assert loss.item() == pytest.approx(0.0)  # single-class softmax
+
+    def test_temperature_must_be_positive(self):
+        with pytest.raises(ValueError):
+            info_nce_loss(nn.tensor(randn(2, 4)), nn.tensor(randn(2, 4)),
+                          randn(3, 4), temperature=0.0)
+
+    def test_gradients_only_flow_to_anchor(self):
+        z = nn.tensor(randn(3, 8), requires_grad=True)
+        z_pos = nn.tensor(randn(3, 8), requires_grad=True)
+        loss = info_nce_loss(z, z_pos, randn(5, 8))
+        loss.backward()
+        assert z.grad is not None
+        assert z_pos.grad is None, "momentum branch must not receive gradients"
+
+    def test_more_negatives_increase_loss(self):
+        rng = np.random.default_rng(0)
+        z_data = rng.standard_normal((4, 8))
+        pos = nn.tensor(z_data + 0.01 * rng.standard_normal((4, 8)))
+        few = info_nce_loss(nn.tensor(z_data, requires_grad=True), pos,
+                            rng.standard_normal((2, 8)))
+        many = info_nce_loss(nn.tensor(z_data, requires_grad=True), pos,
+                             rng.standard_normal((64, 8)))
+        assert many.item() > few.item()
+
+    def test_training_pulls_positives_together(self):
+        rng = np.random.default_rng(1)
+        z = Parameter(rng.standard_normal((4, 8)))
+        target = rng.standard_normal((4, 8))
+        negatives = rng.standard_normal((16, 8))
+        opt = nn.Adam([z], lr=0.05)
+        initial = info_nce_loss(z, nn.tensor(target), negatives).item()
+        for _ in range(50):
+            opt.zero_grad()
+            info_nce_loss(z, nn.tensor(target), negatives).backward()
+            opt.step()
+        final = info_nce_loss(z, nn.tensor(target), negatives).item()
+        assert final < initial * 0.5
+
+
+class TestRankingLosses:
+    def test_triplet_zero_when_separated(self):
+        anchor = nn.tensor(np.zeros((2, 3)), requires_grad=True)
+        positive = nn.tensor(np.zeros((2, 3)))
+        negative = nn.tensor(np.full((2, 3), 10.0))
+        loss = triplet_margin_loss(anchor, positive, negative, margin=1.0)
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_triplet_positive_when_violated(self):
+        anchor = nn.tensor(np.zeros((2, 3)), requires_grad=True)
+        positive = nn.tensor(np.full((2, 3), 10.0))
+        negative = nn.tensor(np.zeros((2, 3)))
+        loss = triplet_margin_loss(anchor, positive, negative, margin=1.0)
+        assert loss.item() > 1.0
+
+    def test_weighted_rank_loss_weighting(self):
+        pred = nn.tensor([1.0, 1.0], requires_grad=True)
+        target = np.array([0.0, 0.0])
+        unweighted = weighted_rank_loss(pred, target)
+        weighted = weighted_rank_loss(pred, target, weights=np.array([2.0, 2.0]))
+        assert weighted.item() == pytest.approx(2 * unweighted.item())

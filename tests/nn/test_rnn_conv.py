@@ -1,0 +1,158 @@
+"""Tests for GRU/LSTM recurrence and Conv2d/MaxPool2d."""
+
+import numpy as np
+
+import repro.nn as nn
+
+from ..gradcheck import assert_gradients_close
+
+RNG = np.random.default_rng(43)
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestGRU:
+    def test_shapes(self):
+        gru = nn.GRU(6, 10, rng=np.random.default_rng(0))
+        seq, h = gru(nn.tensor(randn(3, 7, 6)))
+        assert seq.shape == (3, 7, 10)
+        assert h.shape == (3, 10)
+
+    def test_final_state_is_last_output(self):
+        gru = nn.GRU(4, 5, rng=np.random.default_rng(0))
+        seq, h = gru(nn.tensor(randn(2, 6, 4)))
+        np.testing.assert_allclose(seq.data[:, -1], h.data)
+
+    def test_lengths_freeze_states(self):
+        """Finished sequences must not evolve past their length."""
+        gru = nn.GRU(4, 5, rng=np.random.default_rng(0))
+        x = randn(2, 6, 4)
+        lengths = np.array([3, 6])
+        seq, h = gru(nn.tensor(x), lengths=lengths)
+        np.testing.assert_allclose(seq.data[0, 2], seq.data[0, 5])
+        np.testing.assert_allclose(h.data[0], seq.data[0, 2])
+
+    def test_lengths_equal_truncation(self):
+        """GRU(x, length=k) final state == GRU(x[:k]) final state."""
+        gru = nn.GRU(4, 5, rng=np.random.default_rng(1))
+        x = randn(1, 6, 4)
+        _, h_masked = gru(nn.tensor(x), lengths=np.array([4]))
+        _, h_trunc = gru(nn.tensor(x[:, :4]))
+        np.testing.assert_allclose(h_masked.data, h_trunc.data, atol=1e-12)
+
+    def test_bptt_gradients(self):
+        gru = nn.GRU(3, 4, rng=np.random.default_rng(2))
+        x = randn(2, 4, 3)
+
+        def forward(ts):
+            _, h = gru(ts[0])
+            return (h ** 2).sum()
+
+        assert_gradients_close(forward, [x], atol=1e-5)
+
+    def test_learns_simple_task(self):
+        # Predict the mean of the sequence elements (sanity: the cell trains).
+        rng = np.random.default_rng(0)
+        gru = nn.GRU(2, 8, rng=rng)
+        head = nn.Linear(8, 1, rng=rng)
+        params = gru.parameters() + head.parameters()
+        opt = nn.Adam(params, lr=1e-2)
+        x = rng.standard_normal((16, 5, 2))
+        y = x.mean(axis=(1, 2), keepdims=False)[:, None]
+        first = last = None
+        for step in range(40):
+            opt.zero_grad()
+            _, h = gru(nn.tensor(x))
+            loss = ((head(h) - nn.tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+            if step == 0:
+                first = loss.item()
+            last = loss.item()
+        assert last < first * 0.5
+
+
+class TestLSTM:
+    def test_shapes(self):
+        lstm = nn.LSTM(6, 9, rng=np.random.default_rng(0))
+        seq, h = lstm(nn.tensor(randn(2, 5, 6)))
+        assert seq.shape == (2, 5, 9)
+        assert h.shape == (2, 9)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = nn.LSTMCell(3, 4, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(cell.bias.data[4:8], np.ones(4))
+
+    def test_lengths_freeze_states(self):
+        lstm = nn.LSTM(4, 5, rng=np.random.default_rng(0))
+        x = randn(2, 6, 4)
+        seq, h = lstm(nn.tensor(x), lengths=np.array([2, 6]))
+        np.testing.assert_allclose(h.data[0], seq.data[0, 1])
+
+    def test_bptt_gradients(self):
+        lstm = nn.LSTM(3, 4, rng=np.random.default_rng(2))
+        x = randn(1, 3, 3)
+
+        def forward(ts):
+            _, h = lstm(ts[0])
+            return (h ** 2).sum()
+
+        assert_gradients_close(forward, [x], atol=1e-5)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1,
+                         rng=np.random.default_rng(0))
+        out = conv(nn.tensor(randn(2, 3, 16, 16)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_matches_scipy_correlate(self):
+        from scipy.signal import correlate2d
+
+        conv = nn.Conv2d(1, 1, kernel_size=3, bias=False, rng=np.random.default_rng(0))
+        x = randn(1, 1, 8, 8)
+        out = conv(nn.tensor(x)).data[0, 0]
+        expected = correlate2d(x[0, 0], conv.weight.data[0, 0], mode="valid")
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_gradients_numeric(self):
+        conv = nn.Conv2d(2, 3, kernel_size=3, stride=2, padding=1,
+                         rng=np.random.default_rng(1))
+        x = randn(1, 2, 6, 6)
+
+        def forward(ts):
+            return (conv(ts[0]) ** 2).sum()
+
+        assert_gradients_close(forward, [x], atol=1e-5)
+
+    def test_weight_and_bias_gradients(self):
+        conv = nn.Conv2d(1, 2, kernel_size=2, rng=np.random.default_rng(0))
+        conv(nn.tensor(randn(2, 1, 5, 5))).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+        assert conv.weight.grad.shape == conv.weight.shape
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        pool = nn.MaxPool2d(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = pool(nn.tensor(x))
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        pool = nn.MaxPool2d(2)
+        x = nn.tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4),
+                      requires_grad=True)
+        pool(x).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_global_average_pool(self):
+        gap = nn.AdaptiveAvgPool2d()
+        x = randn(2, 3, 5, 5)
+        np.testing.assert_allclose(gap(nn.tensor(x)).data, x.mean(axis=(2, 3)))

@@ -1,0 +1,55 @@
+"""Tests for npz checkpoint round-tripping."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import load_into, load_state, save_state
+
+
+def build_model(seed):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+
+
+def test_roundtrip_through_disk(tmp_path):
+    model = build_model(0)
+    path = str(tmp_path / "ckpt.npz")
+    save_state(path, model)
+
+    clone = build_model(99)
+    load_into(path, clone)
+
+    x = np.random.default_rng(1).standard_normal((5, 4))
+    np.testing.assert_allclose(model(nn.tensor(x)).data, clone(nn.tensor(x)).data)
+
+
+def test_save_accepts_raw_dict(tmp_path):
+    path = str(tmp_path / "raw.npz")
+    save_state(path, {"a.b": np.arange(3.0)})
+    state = load_state(path)
+    np.testing.assert_allclose(state["a.b"], [0, 1, 2])
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_state(str(tmp_path / "nope.npz"))
+
+
+def test_load_resolves_appended_npz_suffix(tmp_path):
+    # numpy appends .npz automatically; loader must find either spelling.
+    path = str(tmp_path / "model")
+    save_state(path + ".npz", build_model(0))
+    state = load_state(path)
+    assert any(key.endswith("weight") for key in state)
+
+
+def test_loaded_state_is_a_copy(tmp_path):
+    model = build_model(0)
+    path = str(tmp_path / "ckpt.npz")
+    save_state(path, model)
+    state = load_state(path)
+    key = next(iter(state))
+    state[key][...] = 0.0
+    reloaded = load_state(path)
+    assert not np.allclose(reloaded[key], 0.0)

@@ -1,0 +1,259 @@
+"""Unit + property tests for the autodiff engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, concatenate, maximum, no_grad, stack, tensor, where, zeros
+
+from ..gradcheck import assert_gradients_close
+
+
+RNG = np.random.default_rng(7)
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestForwardValues:
+    def test_add_broadcast(self):
+        a = tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = tensor([10.0, 20.0])
+        np.testing.assert_allclose((a + b).data, [[11, 22], [13, 24]])
+
+    def test_scalar_ops(self):
+        x = tensor([2.0])
+        assert (x * 3).item() == 6.0
+        assert (3 * x).item() == 6.0
+        assert (x - 1).item() == 1.0
+        assert (1 - x).item() == -1.0
+        assert (x / 2).item() == 1.0
+        assert (8 / x).item() == 4.0
+        assert (-x).item() == -2.0
+        assert (x ** 2).item() == 4.0
+
+    def test_matmul_matches_numpy(self):
+        a, b = randn(3, 4), randn(4, 5)
+        np.testing.assert_allclose((tensor(a) @ tensor(b)).data, a @ b)
+
+    def test_batched_matmul_matches_numpy(self):
+        a, b = randn(2, 3, 4, 5), randn(2, 3, 5, 6)
+        np.testing.assert_allclose((tensor(a) @ tensor(b)).data, a @ b)
+
+    def test_reductions_match_numpy(self):
+        x = randn(3, 4, 5)
+        t = tensor(x)
+        np.testing.assert_allclose(t.sum(axis=1).data, x.sum(axis=1))
+        np.testing.assert_allclose(t.mean(axis=(0, 2)).data, x.mean(axis=(0, 2)))
+        np.testing.assert_allclose(t.max(axis=-1).data, x.max(axis=-1))
+        np.testing.assert_allclose(t.min(axis=0).data, x.min(axis=0))
+
+    def test_shape_ops(self):
+        x = randn(2, 3, 4)
+        t = tensor(x)
+        assert t.reshape(6, 4).shape == (6, 4)
+        assert t.transpose(2, 0, 1).shape == (4, 2, 3)
+        assert t.swapaxes(0, 2).shape == (4, 3, 2)
+        assert t[0].shape == (3, 4)
+        assert t.expand_dims(1).shape == (2, 1, 3, 4)
+        assert t.expand_dims(1).squeeze(1).shape == (2, 3, 4)
+
+    def test_where_and_maximum(self):
+        a, b = tensor([1.0, 5.0]), tensor([4.0, 2.0])
+        np.testing.assert_allclose(where(a.data > b.data, a, b).data, [4, 5])
+        np.testing.assert_allclose(maximum(a, b).data, [4, 5])
+
+    def test_concat_and_stack(self):
+        a, b = tensor(randn(2, 3)), tensor(randn(2, 3))
+        assert concatenate([a, b], axis=0).shape == (4, 3)
+        assert concatenate([a, b], axis=1).shape == (2, 6)
+        assert stack([a, b], axis=0).shape == (2, 2, 3)
+
+    def test_int_input_promoted_to_float(self):
+        assert tensor([1, 2, 3]).dtype == np.float64
+
+    def test_comparison_returns_plain_arrays(self):
+        result = tensor([1.0, 3.0]) > tensor([2.0, 2.0])
+        assert isinstance(result, np.ndarray)
+        np.testing.assert_array_equal(result, [False, True])
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_seed(self):
+        x = tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_uses(self):
+        x = tensor([3.0], requires_grad=True)
+        y = x * 2 + x * 5  # dy/dx = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_no_grad_blocks_graph(self):
+        x = tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_detach_severs_graph(self):
+        x = tensor([1.0], requires_grad=True)
+        y = (x * 2).detach() * 3
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_does_not_recurse(self):
+        # Iterative topo-sort must handle graphs deeper than the recursion limit.
+        x = tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_broadcast_gradient_shapes(self):
+        a = tensor(randn(3, 4), requires_grad=True)
+        b = tensor(randn(4), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+
+
+class TestGradientsNumeric:
+    """Analytic-vs-finite-difference checks for every primitive."""
+
+    def test_add_sub_mul_div(self):
+        a, b = randn(3, 4), randn(3, 4) + 2.0
+        assert_gradients_close(lambda ts: ((ts[0] + ts[1]) * ts[0] / ts[1]).sum(), [a, b])
+
+    def test_broadcast_add_mul(self):
+        a, b = randn(3, 4), randn(4)
+        assert_gradients_close(lambda ts: ((ts[0] + ts[1]) * ts[1]).sum(), [a, b])
+
+    def test_matmul_2d(self):
+        a, b = randn(3, 4), randn(4, 5)
+        assert_gradients_close(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a, b = randn(2, 3, 4), randn(2, 4, 5)
+        assert_gradients_close(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self):
+        a, b = randn(2, 3, 4), randn(4, 5)
+        assert_gradients_close(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_vector_cases(self):
+        a, b = randn(4), randn(4)
+        assert_gradients_close(lambda ts: ts[0] @ ts[1], [a, b])
+        m, v = randn(3, 4), randn(4)
+        assert_gradients_close(lambda ts: (ts[0] @ ts[1]).sum(), [m, v])
+        v2, m2 = randn(3), randn(3, 4)
+        assert_gradients_close(lambda ts: (ts[0] @ ts[1]).sum(), [v2, m2])
+
+    def test_elementwise_unary(self):
+        x = randn(3, 4) * 0.5
+        assert_gradients_close(lambda ts: ts[0].exp().sum(), [x])
+        assert_gradients_close(lambda ts: ts[0].tanh().sum(), [x])
+        assert_gradients_close(lambda ts: ts[0].sigmoid().sum(), [x])
+        positive = np.abs(randn(3, 4)) + 0.5
+        assert_gradients_close(lambda ts: ts[0].log().sum(), [positive])
+        assert_gradients_close(lambda ts: ts[0].sqrt().sum(), [positive])
+
+    def test_relu_and_abs(self):
+        x = randn(4, 5) + 0.05  # keep away from the kink
+        assert_gradients_close(lambda ts: ts[0].relu().sum(), [x])
+        assert_gradients_close(lambda ts: ts[0].abs().sum(), [x])
+
+    def test_pow(self):
+        x = np.abs(randn(3, 3)) + 0.5
+        assert_gradients_close(lambda ts: (ts[0] ** 3).sum(), [x])
+        assert_gradients_close(lambda ts: (ts[0] ** 0.5).sum(), [x])
+
+    def test_reductions(self):
+        x = randn(3, 4)
+        assert_gradients_close(lambda ts: ts[0].sum(axis=0).sum(), [x])
+        assert_gradients_close(lambda ts: ts[0].mean(axis=1).sum(), [x])
+        assert_gradients_close(lambda ts: ts[0].mean(), [x])
+
+    def test_max_reduction(self):
+        x = randn(3, 4)  # distinct values w.p. 1
+        assert_gradients_close(lambda ts: ts[0].max(axis=1).sum(), [x])
+        assert_gradients_close(lambda ts: ts[0].max(), [x])
+
+    def test_shape_ops_gradients(self):
+        x = randn(2, 3, 4)
+        assert_gradients_close(lambda ts: (ts[0].reshape(6, 4) ** 2).sum(), [x])
+        assert_gradients_close(lambda ts: (ts[0].transpose(1, 0, 2) ** 2).sum(), [x])
+        assert_gradients_close(lambda ts: (ts[0][0] ** 2).sum(), [x])
+        assert_gradients_close(lambda ts: (ts[0][:, 1:3, ::2] ** 2).sum(), [x])
+
+    def test_gather_duplicate_indices(self):
+        x = randn(5, 3)
+        idx = np.array([0, 2, 2, 4])
+        assert_gradients_close(lambda ts: (ts[0][idx] ** 2).sum(), [x])
+
+    def test_pad(self):
+        x = randn(2, 3)
+        assert_gradients_close(lambda ts: (ts[0].pad(((1, 1), (2, 0))) ** 2).sum(), [x])
+
+    def test_concat_stack_where_maximum(self):
+        a, b = randn(2, 3), randn(2, 3)
+        assert_gradients_close(lambda ts: (concatenate(ts, axis=1) ** 2).sum(), [a, b])
+        assert_gradients_close(lambda ts: (stack(ts, axis=0) ** 2).sum(), [a, b])
+        cond = randn(2, 3) > 0
+        assert_gradients_close(lambda ts: (where(cond, ts[0], ts[1]) ** 2).sum(), [a, b])
+        assert_gradients_close(lambda ts: (maximum(ts[0], ts[1]) ** 2).sum(), [a, b + 0.3])
+
+    def test_clip(self):
+        x = randn(4, 4) * 2
+        # Move points off the clip boundaries so finite differences are clean.
+        x = x + 0.05 * np.sign(x)
+        assert_gradients_close(lambda ts: (ts[0].clip(-1.0, 1.0) ** 2).sum(), [x])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(np.float64, array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+           elements=st.floats(-3, 3, allow_nan=False)),
+)
+def test_property_sum_gradient_is_ones(x):
+    """d(sum(x))/dx == 1 for every element, any shape."""
+    t = Tensor(x.copy(), requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(np.float64, (3, 4), elements=st.floats(-3, 3, allow_nan=False)),
+    arrays(np.float64, (3, 4), elements=st.floats(-3, 3, allow_nan=False)),
+)
+def test_property_add_commutes(a, b):
+    np.testing.assert_allclose((tensor(a) + tensor(b)).data, (tensor(b) + tensor(a)).data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.float64, (4, 3), elements=st.floats(-2, 2, allow_nan=False)),
+)
+def test_property_double_transpose_is_identity(x):
+    t = tensor(x)
+    np.testing.assert_allclose(t.T.T.data, x)
+
+
+def test_zeros_ones_helpers():
+    assert zeros((2, 3)).shape == (2, 3)
+    assert float(zeros((2, 3)).data.sum()) == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _load_trajectories, build_parser, main, save_trajectories
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "city.npz")
+    assert main(["generate", "--city", "porto", "--count", "40",
+                 "--seed", "1", "--output", path]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def checkpoint_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "model.npz")
+    assert main(["train", "--city", "porto", "--count", "60", "--epochs", "1",
+                 "--seed", "0", "--output", path]) == 0
+    return path
+
+
+class TestTrajectoriesIO:
+    def test_roundtrip(self, tmp_path):
+        trajs = [np.random.default_rng(i).standard_normal((5 + i, 2))
+                 for i in range(3)]
+        path = str(tmp_path / "t.npz")
+        save_trajectories(path, trajs)
+        loaded = _load_trajectories(path)
+        assert len(loaded) == 3
+        for original, restored in zip(trajs, loaded):
+            np.testing.assert_allclose(original, restored)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_city(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--city", "london",
+                                       "--output", "x.npz"])
+
+
+class TestGenerate:
+    def test_creates_dataset(self, dataset_path):
+        trajectories = _load_trajectories(dataset_path)
+        assert len(trajectories) == 40
+        assert all(t.shape[1] == 2 for t in trajectories)
+
+    def test_output_message(self, dataset_path, capsys, tmp_path):
+        main(["generate", "--city", "xian", "--count", "5",
+              "--output", str(tmp_path / "x.npz")])
+        out = capsys.readouterr().out
+        assert "5 xian trajectories" in out
+
+
+class TestTrainEncodeEvaluateKnn:
+    def test_train_writes_checkpoint(self, checkpoint_path):
+        from repro.core import load_pipeline
+
+        model = load_pipeline(checkpoint_path)
+        assert model.encoder.output_dim > 0
+
+    def test_encode(self, checkpoint_path, dataset_path, tmp_path, capsys):
+        out_path = str(tmp_path / "emb.npy")
+        assert main(["encode", "--checkpoint", checkpoint_path,
+                     "--data", dataset_path, "--output", out_path]) == 0
+        embeddings = np.load(out_path)
+        assert embeddings.shape[0] == 40
+
+    def test_evaluate(self, checkpoint_path, dataset_path, capsys):
+        assert main(["evaluate", "--checkpoint", checkpoint_path,
+                     "--data", dataset_path, "--queries", "5",
+                     "--database", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "TrajCL" in out and "mean rank" in out
+
+    def test_evaluate_with_heuristics(self, checkpoint_path, dataset_path, capsys):
+        assert main(["evaluate", "--checkpoint", checkpoint_path,
+                     "--data", dataset_path, "--queries", "4",
+                     "--database", "20", "--heuristics"]) == 0
+        out = capsys.readouterr().out
+        for name in ["hausdorff", "frechet", "edr", "edwp"]:
+            assert name in out
+
+    def test_knn(self, checkpoint_path, dataset_path, capsys):
+        assert main(["knn", "--checkpoint", checkpoint_path,
+                     "--data", dataset_path, "--query", "2", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3NN of trajectory 2" in out
+        assert "#3:" in out

@@ -1,0 +1,44 @@
+"""Smoke tests: the example scripts' helper functions stay importable/correct.
+
+Full example runs train models and are exercised manually / in CI-nightly;
+here we verify the cheap pure functions and that every example module
+parses and exposes a ``main``.
+"""
+
+import importlib.util
+import pathlib
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_defines_main(path):
+    module = load_example(path)
+    assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+    assert module.__doc__, f"{path.stem} lacks a module docstring"
+
+
+def test_examples_cover_required_scenarios():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert {"quickstart", "knn_search", "approximate_heuristic",
+            "cross_city"} <= names
+    assert len(names) >= 4
+
+
+def test_gallery_render_marks_endpoints():
+    gallery = load_example(EXAMPLES_DIR / "augmentation_gallery.py")
+    points = np.array([[0.0, 0.0], [50.0, 50.0], [100.0, 100.0]])
+    art = gallery.render(points, (0, 0, 100, 100), width=20, height=10)
+    assert "S" in art and "E" in art
+    assert len(art.splitlines()) == 10

@@ -1,0 +1,297 @@
+"""Tests for the Trajectory primitive, Grid, Douglas-Peucker and preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.trajectory import (
+    Grid,
+    Trajectory,
+    as_points,
+    douglas_peucker,
+    douglas_peucker_mask,
+    filter_trajectories,
+    pad_point_arrays,
+    point_segment_distance,
+    resample_to_length,
+)
+
+RNG = np.random.default_rng(3)
+
+finite_points = arrays(
+    np.float64, st.tuples(st.integers(2, 40), st.just(2)),
+    elements=st.floats(-1e4, 1e4, allow_nan=False),
+)
+
+
+def random_walk(n=30, step=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal((n, 2)) * step, axis=0)
+
+
+class TestTrajectory:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            Trajectory(np.array([[np.nan, 0.0]]))
+
+    def test_immutability(self):
+        traj = Trajectory(random_walk())
+        with pytest.raises(Exception):
+            traj.points[0, 0] = 99.0
+        with pytest.raises(AttributeError):
+            traj.points = np.zeros((2, 2))
+
+    def test_length_of_straight_line(self):
+        traj = Trajectory([[0, 0], [3, 4], [6, 8]])
+        assert traj.length() == pytest.approx(10.0)
+
+    def test_single_point_length_zero(self):
+        assert Trajectory([[1, 2]]).length() == 0.0
+
+    def test_bbox(self):
+        traj = Trajectory([[0, 5], [-2, 1], [4, 3]])
+        assert traj.bbox() == (-2, 1, 4, 5)
+
+    def test_slicing_returns_trajectory(self):
+        traj = Trajectory(random_walk(10))
+        assert isinstance(traj[2:6], Trajectory)
+        assert len(traj[2:6]) == 4
+        np.testing.assert_allclose(traj[3], traj.points[3])
+
+    def test_equality_and_hash(self):
+        a = Trajectory([[0, 0], [1, 1]])
+        b = Trajectory([[0, 0], [1, 1]])
+        c = Trajectory([[0, 0], [2, 2]])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_reversed(self):
+        traj = Trajectory(random_walk(5))
+        np.testing.assert_allclose(traj.reversed().points, traj.points[::-1])
+
+    def test_turning_radians_straight_line(self):
+        traj = Trajectory([[0, 0], [1, 0], [2, 0], [3, 0]])
+        np.testing.assert_allclose(traj.turning_radians(), np.pi * np.ones(4))
+
+    def test_turning_radians_right_angle(self):
+        traj = Trajectory([[0, 0], [1, 0], [1, 1]])
+        assert traj.turning_radians()[1] == pytest.approx(np.pi / 2)
+
+    def test_as_points_passthrough_and_coercion(self):
+        raw = random_walk(4)
+        traj = Trajectory(raw)
+        assert as_points(traj) is traj.points
+        np.testing.assert_allclose(as_points(raw.tolist()), raw)
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_points)
+    def test_property_length_at_least_endpoint_distance(self, pts):
+        traj = Trajectory(pts)
+        direct = float(np.linalg.norm(pts[-1] - pts[0]))
+        assert traj.length() >= direct - 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_points)
+    def test_property_reverse_preserves_length(self, pts):
+        traj = Trajectory(pts)
+        assert traj.length() == pytest.approx(traj.reversed().length(), rel=1e-9, abs=1e-9)
+
+
+class TestGrid:
+    def make(self):
+        return Grid(0, 0, 1000, 500, cell_size=100)
+
+    def test_dimensions(self):
+        grid = self.make()
+        assert grid.n_cols == 10
+        assert grid.n_rows == 5
+        assert grid.n_cells == 50
+
+    def test_cell_of_known_points(self):
+        grid = self.make()
+        ids = grid.cell_of(np.array([[50.0, 50.0], [950.0, 450.0]]))
+        assert ids[0] == 0
+        assert ids[1] == 49
+
+    def test_points_outside_are_clamped(self):
+        grid = self.make()
+        ids = grid.cell_of(np.array([[-100.0, -100.0], [2000.0, 2000.0]]))
+        assert ids[0] == 0
+        assert ids[1] == grid.n_cells - 1
+
+    def test_cell_center_roundtrip(self):
+        grid = self.make()
+        centers = grid.cell_center(np.arange(grid.n_cells))
+        ids = grid.cell_of(centers)
+        np.testing.assert_array_equal(ids, np.arange(grid.n_cells))
+
+    def test_neighbors_interior_corner_edge(self):
+        grid = self.make()
+        interior = grid.cell_of(np.array([[550.0, 250.0]]))[0]
+        assert len(grid.neighbors(int(interior))) == 8
+        assert len(grid.neighbors(0)) == 3  # corner
+        assert len(grid.neighbors(5)) == 5  # bottom edge
+
+    def test_neighbors_are_symmetric(self):
+        grid = self.make()
+        for cell in [0, 7, 23, 49]:
+            for other in grid.neighbors(cell):
+                assert cell in grid.neighbors(other)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Grid(0, 0, 10, 10, cell_size=0)
+        with pytest.raises(ValueError):
+            Grid(10, 0, 0, 10, cell_size=1)
+
+    def test_covering(self):
+        trajs = [random_walk(20, seed=s) for s in range(3)]
+        grid = Grid.covering(trajs, cell_size=50)
+        for traj in trajs:
+            ids = grid.cell_of(traj)
+            assert (ids >= 0).all() and (ids < grid.n_cells).all()
+
+    def test_covering_empty_raises(self):
+        with pytest.raises(ValueError):
+            Grid.covering([], cell_size=50)
+
+    def test_bad_cell_ids_raise(self):
+        grid = self.make()
+        with pytest.raises(IndexError):
+            grid.cell_center(np.array([grid.n_cells]))
+
+
+class TestDouglasPeucker:
+    def test_collinear_collapses_to_endpoints(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        simplified = douglas_peucker(pts, epsilon=0.1)
+        np.testing.assert_allclose(simplified, [[0, 0], [3, 0]])
+
+    def test_keeps_significant_corner(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 0.0]])
+        simplified = douglas_peucker(pts, epsilon=1.0)
+        assert len(simplified) == 3
+
+    def test_epsilon_zero_keeps_non_collinear_points(self):
+        pts = random_walk(20, seed=1)
+        simplified = douglas_peucker(pts, epsilon=0.0)
+        assert len(simplified) == len(pts)
+
+    def test_huge_epsilon_keeps_only_endpoints(self):
+        pts = random_walk(50, seed=2)
+        simplified = douglas_peucker(pts, epsilon=1e9)
+        assert len(simplified) == 2
+        np.testing.assert_allclose(simplified[0], pts[0])
+        np.testing.assert_allclose(simplified[-1], pts[-1])
+
+    def test_mask_endpoints_always_kept(self):
+        pts = random_walk(30, seed=3)
+        mask = douglas_peucker_mask(pts, epsilon=5.0)
+        assert mask[0] and mask[-1]
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            douglas_peucker(random_walk(5), epsilon=-1.0)
+
+    def test_two_points_untouched(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        np.testing.assert_allclose(douglas_peucker(pts, 10.0), pts)
+
+    def test_long_trajectory_no_recursion_error(self):
+        # zig-zag of 20k points: recursive implementations blow the stack
+        n = 20000
+        pts = np.stack([np.arange(n, dtype=float),
+                        np.tile([0.0, 100.0], n // 2)], axis=1)
+        simplified = douglas_peucker(pts, epsilon=1.0)
+        assert len(simplified) == n
+
+    @settings(max_examples=25, deadline=None)
+    @given(finite_points, st.floats(0, 1e3, allow_nan=False))
+    def test_property_simplification_is_subsequence(self, pts, eps):
+        mask = douglas_peucker_mask(pts, eps)
+        simplified = pts[mask]
+        assert len(simplified) >= 2 or len(pts) < 2
+        # kept points appear in original order
+        rows = {tuple(p) for p in simplified.tolist()}
+        assert rows <= {tuple(p) for p in pts.tolist()}
+
+    @settings(max_examples=25, deadline=None)
+    @given(finite_points)
+    def test_property_monotone_in_epsilon(self, pts):
+        small = douglas_peucker_mask(pts, 1.0).sum()
+        large = douglas_peucker_mask(pts, 100.0).sum()
+        assert large <= small
+
+
+class TestPointSegmentDistance:
+    def test_perpendicular_distance(self):
+        d = point_segment_distance(np.array([[0.0, 1.0]]),
+                                   np.array([-1.0, 0.0]), np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(1.0)
+
+    def test_beyond_endpoint_uses_point_distance(self):
+        d = point_segment_distance(np.array([[3.0, 0.0]]),
+                                   np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(2.0)
+
+    def test_degenerate_segment(self):
+        d = point_segment_distance(np.array([[3.0, 4.0]]),
+                                   np.array([0.0, 0.0]), np.array([0.0, 0.0]))
+        assert d[0] == pytest.approx(5.0)
+
+
+class TestPreprocess:
+    def test_filters_by_point_count(self):
+        trajs = [random_walk(5), random_walk(50), random_walk(300)]
+        kept = filter_trajectories(trajs, min_points=20, max_points=200)
+        assert len(kept) == 1
+        assert len(kept[0]) == 50
+
+    def test_filters_by_bbox(self):
+        inside = np.array([[1.0, 1.0]] * 25)
+        outside = inside + 100.0
+        kept = filter_trajectories([inside, outside], min_points=1, max_points=100,
+                                   bbox=(0, 0, 10, 10))
+        assert len(kept) == 1
+
+    def test_drops_invalid_records(self):
+        bad = np.array([[np.nan, 0.0]] * 30)
+        kept = filter_trajectories([bad, random_walk(30)], min_points=20)
+        assert len(kept) == 1
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            filter_trajectories([], min_points=10, max_points=5)
+
+    def test_pad_point_arrays(self):
+        batch, lengths = pad_point_arrays([random_walk(3), random_walk(5)])
+        assert batch.shape == (2, 5, 2)
+        np.testing.assert_array_equal(lengths, [3, 5])
+        np.testing.assert_allclose(batch[0, 3:], 0.0)
+
+    def test_pad_truncates_to_max_len(self):
+        batch, lengths = pad_point_arrays([random_walk(10)], max_len=4)
+        assert batch.shape == (1, 4, 2)
+        assert lengths[0] == 4
+
+    def test_pad_empty_raises(self):
+        with pytest.raises(ValueError):
+            pad_point_arrays([])
+
+    def test_resample_preserves_endpoints(self):
+        pts = random_walk(10, seed=4)
+        resampled = resample_to_length(pts, 25)
+        assert resampled.shape == (25, 2)
+        np.testing.assert_allclose(resampled[0], pts[0])
+        np.testing.assert_allclose(resampled[-1], pts[-1])
+
+    def test_resample_straight_line_uniform(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        resampled = resample_to_length(pts, 5)
+        np.testing.assert_allclose(resampled[:, 0], [0, 2.5, 5, 7.5, 10])

@@ -1,0 +1,96 @@
+"""Tests for Visvalingam-Whyatt simplification and its augmentation hook."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.augmentation import simplify_vw
+from repro.trajectory import triangle_area, visvalingam, visvalingam_mask
+
+finite_points = arrays(
+    np.float64, st.tuples(st.integers(2, 40), st.just(2)),
+    elements=st.floats(-1e4, 1e4, allow_nan=False),
+)
+
+
+def walk(n=30, seed=0, step=50.0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.standard_normal((n, 2)) * step, axis=0)
+
+
+class TestTriangleArea:
+    def test_right_triangle(self):
+        assert triangle_area(
+            np.array([0.0, 0.0]), np.array([4.0, 0.0]), np.array([0.0, 3.0])
+        ) == pytest.approx(6.0)
+
+    def test_collinear_is_zero(self):
+        assert triangle_area(
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]), np.array([2.0, 2.0])
+        ) == pytest.approx(0.0)
+
+
+class TestVisvalingam:
+    def test_collinear_collapses(self):
+        line = np.stack([np.arange(10, dtype=float), np.zeros(10)], axis=1)
+        simplified = visvalingam(line, min_area=1.0)
+        assert len(simplified) == 2
+
+    def test_endpoints_kept(self):
+        pts = walk(20, seed=1)
+        simplified = visvalingam(pts, min_area=1e4)
+        np.testing.assert_allclose(simplified[0], pts[0])
+        np.testing.assert_allclose(simplified[-1], pts[-1])
+
+    def test_zero_threshold_keeps_non_collinear(self):
+        pts = walk(15, seed=2)
+        assert len(visvalingam(pts, min_area=0.0)) == len(pts)
+
+    def test_huge_threshold_keeps_endpoints_only(self):
+        pts = walk(25, seed=3)
+        assert len(visvalingam(pts, min_area=1e18)) == 2
+
+    def test_significant_corner_survives(self):
+        corner = np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 100.0]])
+        simplified = visvalingam(corner, min_area=100.0)
+        assert len(simplified) == 3
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            visvalingam(walk(5), min_area=-1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(finite_points, st.floats(0, 1e6, allow_nan=False))
+    def test_property_mask_keeps_subsequence(self, pts, threshold):
+        mask = visvalingam_mask(pts, threshold)
+        assert mask[0] and mask[-1]
+        assert mask.sum() >= 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(finite_points)
+    def test_property_monotone_in_threshold(self, pts):
+        small = visvalingam_mask(pts, 10.0).sum()
+        large = visvalingam_mask(pts, 1e6).sum()
+        assert large <= small
+
+
+class TestSimplifyVWAugmentation:
+    def test_output_valid(self):
+        pts = walk(30, seed=4)
+        out = simplify_vw(pts, np.random.default_rng(0))
+        assert 2 <= len(out) <= len(pts)
+        assert np.isfinite(out).all()
+
+    def test_degenerate_input_returned_whole(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = simplify_vw(pts)
+        np.testing.assert_allclose(out, pts)
+
+    def test_usable_in_training_views(self):
+        from repro.core.augmentation import make_view
+
+        pts = walk(30, seed=5)
+        out = make_view(pts, "simplify_vw", np.random.default_rng(1))
+        assert len(out) >= 2
