@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench
+
+# Tier-1 suite (the repo's verification gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# End-to-end CLI pipeline (generate -> train -> evaluate -> knn) on a tiny
+# dataset; finishes in well under a minute.
+smoke:
+	$(PYTHON) -m pytest -m smoke -q
+
+# Paper-table benchmark harnesses (slow; needs pytest-benchmark).
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -17,7 +17,7 @@ from repro.eval import (
     format_table,
     make_instance,
 )
-from repro.measures import get_measure
+from repro.api import get_backend
 
 from benchmarks.common import DB_SIZE, N_QUERIES, SEED, TRAIN_EPOCHS, save_result
 
@@ -41,7 +41,7 @@ def test_fig7_component_ablation(benchmark, porto_pipeline):
     train, _val, test = downstream_split(
         trajectories, rng=np.random.default_rng(SEED + 98)
     )
-    measure = get_measure("hausdorff")
+    measure = get_backend("hausdorff")
 
     def run():
         rows = []

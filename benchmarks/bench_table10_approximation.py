@@ -21,7 +21,7 @@ from repro.baselines import NeuTraj, T3S, Traj2SimVec, TrajGAT
 from repro.core import FrozenBackboneApproximator, HeuristicApproximator
 from repro.datasets import downstream_split
 from repro.eval import approximation_metrics, format_table
-from repro.measures import get_measure
+from repro.api import get_backend
 
 from benchmarks.common import SEED, save_result
 
@@ -39,7 +39,7 @@ def test_table10_heuristic_approximation(benchmark, porto_pipeline, porto_selfsu
     def run():
         rows = []
         for measure_name in MEASURES:
-            measure = get_measure(measure_name)
+            measure = get_backend(measure_name)
 
             # Pre-trained + fine-tuning: self-supervised baselines.
             for name, base in porto_selfsup.items():

@@ -26,7 +26,7 @@ import time
 import numpy as np
 
 from repro.eval import format_table
-from repro.measures import Hausdorff
+from repro.api import get_backend
 
 from benchmarks.common import save_result
 
@@ -38,7 +38,7 @@ def test_table1_per_pair_time(benchmark, porto_pipeline, porto_selfsup):
     queries, database = trajectories[:10], trajectories[:100]
     n_pairs = len(queries) * len(database)
     n_encodes = len(queries) + len(database)
-    hausdorff = Hausdorff()
+    hausdorff = get_backend("hausdorff")
     t2vec = porto_selfsup["t2vec"]
     model = porto_pipeline.model
     max_len = model.config.max_len

@@ -12,10 +12,9 @@ are the reproduction target (EXPERIMENTS.md).
 
 import pytest
 
-from repro.measures import get_measure
 from repro.eval import make_instance
 
-from benchmarks.common import DB_SIZE, N_QUERIES, SEED, mean_rank_sweep, save_result
+from benchmarks.common import DB_SIZE, N_QUERIES, SEED, heuristic_backends, mean_rank_sweep, save_result
 
 
 def test_table3_mean_rank_vs_dbsize(benchmark, porto_pipeline, porto_selfsup):
@@ -28,10 +27,7 @@ def test_table3_mean_rank_vs_dbsize(benchmark, porto_pipeline, porto_selfsup):
         for size in sizes
     }
     methods = {
-        "EDR": get_measure("edr"),
-        "EDwP": get_measure("edwp"),
-        "Hausdorff": get_measure("hausdorff"),
-        "Frechet": get_measure("frechet"),
+        **heuristic_backends(),
         **porto_selfsup,
         "TrajCL": porto_pipeline.model,
     }

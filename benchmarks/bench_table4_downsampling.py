@@ -6,9 +6,8 @@ shape: every measure degrades as ρ_s grows; TrajCL (trained with the point
 collapses; EDwP is the most robust heuristic thanks to projections.
 """
 
-from repro.measures import get_measure
 
-from benchmarks.common import mean_rank_sweep, perturbed_instances, save_result
+from benchmarks.common import heuristic_backends, mean_rank_sweep, perturbed_instances, save_result
 
 RATES = [0.1, 0.2, 0.3, 0.4, 0.5]
 
@@ -18,10 +17,7 @@ def test_table4_mean_rank_vs_downsampling(benchmark, porto_pipeline, porto_selfs
         porto_pipeline.trajectories, "downsample", RATES
     )
     methods = {
-        "EDR": get_measure("edr"),
-        "EDwP": get_measure("edwp"),
-        "Hausdorff": get_measure("hausdorff"),
-        "Frechet": get_measure("frechet"),
+        **heuristic_backends(),
         **porto_selfsup,
         "TrajCL": porto_pipeline.model,
     }

@@ -7,9 +7,8 @@ stays near rank 1 throughout, and the grid-cell features make it robust to
 sub-cell noise by construction.
 """
 
-from repro.measures import get_measure
 
-from benchmarks.common import mean_rank_sweep, perturbed_instances, save_result
+from benchmarks.common import heuristic_backends, mean_rank_sweep, perturbed_instances, save_result
 
 RATES = [0.1, 0.2, 0.3, 0.4, 0.5]
 
@@ -19,10 +18,7 @@ def test_table5_mean_rank_vs_distortion(benchmark, porto_pipeline, porto_selfsup
         porto_pipeline.trajectories, "distort", RATES
     )
     methods = {
-        "EDR": get_measure("edr"),
-        "EDwP": get_measure("edwp"),
-        "Hausdorff": get_measure("hausdorff"),
-        "Frechet": get_measure("frechet"),
+        **heuristic_backends(),
         **porto_selfsup,
         "TrajCL": porto_pipeline.model,
     }

@@ -9,20 +9,17 @@ costs vary strongly with trajectory length while learned costs do not.
 
 import time
 
-from repro.measures import get_measure
-from repro.eval import distance_matrix_of, format_table
+from repro.api import as_backend
+from repro.eval import format_table
 
-from benchmarks.common import save_result
+from benchmarks.common import heuristic_backends, save_result
 
 
 def test_table8_similarity_computation_time(benchmark, porto_pipeline, porto_selfsup):
     trajectories = porto_pipeline.trajectories
     queries, database = trajectories[:10], trajectories[:100]
     methods = {
-        "EDR": get_measure("edr"),
-        "EDwP": get_measure("edwp"),
-        "Hausdorff": get_measure("hausdorff"),
-        "Frechet": get_measure("frechet"),
+        **heuristic_backends(),
         **porto_selfsup,
         "TrajCL": porto_pipeline.model,
     }
@@ -30,8 +27,9 @@ def test_table8_similarity_computation_time(benchmark, porto_pipeline, porto_sel
     def run():
         rows = []
         for name, method in methods.items():
+            backend = as_backend(method)
             start = time.perf_counter()
-            distance_matrix_of(method, queries, database)
+            backend.pairwise(queries, database)
             rows.append([name, time.perf_counter() - start])
         return rows
 

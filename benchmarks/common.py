@@ -22,6 +22,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.api import get_backend
 from repro.datasets import perturb_instance
 from repro.eval import evaluate_mean_rank, format_table, make_instance
 
@@ -40,6 +41,16 @@ def save_result(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n(written to {path})")
+
+
+def heuristic_backends() -> Dict[str, object]:
+    """The four heuristic measures as registry backends, paper-labelled."""
+    return {
+        "EDR": get_backend("edr"),
+        "EDwP": get_backend("edwp"),
+        "Hausdorff": get_backend("hausdorff"),
+        "Frechet": get_backend("frechet"),
+    }
 
 
 def mean_rank_sweep(

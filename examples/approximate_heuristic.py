@@ -16,7 +16,7 @@ import numpy as np
 from repro.core import HeuristicApproximator
 from repro.datasets import downstream_split
 from repro.eval import approximation_metrics, build_city_pipeline, format_table
-from repro.measures import get_measure
+from repro.api import get_backend
 
 
 def main() -> None:
@@ -26,7 +26,7 @@ def main() -> None:
     train, _validation, test = downstream_split(
         pipeline.trajectories, rng=np.random.default_rng(1)
     )
-    measure = get_measure("edwp")
+    measure = get_backend("edwp")
 
     rows = []
     for mode, label in [("last_layer", "TrajCL"), ("all", "TrajCL*")]:

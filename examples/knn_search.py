@@ -1,9 +1,10 @@
 """kNN trajectory search with an IVF vector index (paper §V-E, Fig. 6).
 
-Embeds a trajectory database with a pre-trained TrajCL model, indexes the
-embeddings with the IVFFlat (Faiss-style Voronoi) index, and contrasts
-query latency and memory against the segment-based Hausdorff index (the
-DFT-style heuristic baseline).
+Stands up two :class:`repro.api.SimilarityService` instances over the same
+database — TrajCL embeddings behind the IVFFlat (Faiss-style Voronoi)
+index, and the Hausdorff heuristic behind the segment (DFT-style) index —
+and contrasts build time, query latency and memory, the Fig. 6 / Table IX
+comparison.
 
 Run:  python examples/knn_search.py
 """
@@ -12,9 +13,9 @@ import time
 
 import numpy as np
 
+from repro.api import SimilarityService
 from repro.datasets import generate_city, get_preset
 from repro.eval import build_city_pipeline, format_table
-from repro.index import IVFFlatIndex, SegmentHausdorffIndex
 
 
 def main() -> None:
@@ -26,39 +27,42 @@ def main() -> None:
     queries = generate_city(get_preset("xian"), 20, seed=11)
 
     # --- TrajCL + IVF ---------------------------------------------------
+    trajcl = SimilarityService(
+        backend=pipeline.model, index="ivf",
+        index_kwargs={"n_lists": 16, "n_probe": 4, "seed": 0},
+    )
     t0 = time.perf_counter()
-    database_embeddings = pipeline.model.encode(database)
-    embed_seconds = time.perf_counter() - t0
-
-    index = IVFFlatIndex(dim=database_embeddings.shape[1], n_lists=16, n_probe=4)
-    t0 = time.perf_counter()
-    index.train(database_embeddings, rng=np.random.default_rng(0))
-    index.add(database_embeddings)
+    trajcl.add(database)  # encode + index
+    _ = trajcl.knn(queries[:1], k=1)  # force the lazy quantizer build
     ivf_build_seconds = time.perf_counter() - t0
 
-    query_embeddings = pipeline.model.encode(queries)
     t0 = time.perf_counter()
-    _, ivf_neighbors = index.search(query_embeddings, k=3)
+    _, ivf_neighbors = trajcl.knn(queries, k=3)
     ivf_query_seconds = time.perf_counter() - t0
 
     # --- Hausdorff + segment index --------------------------------------
-    segment_index = SegmentHausdorffIndex(bucket_size=400)
+    hausdorff = SimilarityService(
+        backend="hausdorff", index="segment",
+        index_kwargs={"bucket_size": 400},
+    )
     t0 = time.perf_counter()
-    segment_index.build(database)
+    hausdorff.add(database)
+    _ = hausdorff.knn(queries[:1], k=1)  # force the lazy bucket build
     segment_build_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    segment_neighbors = [segment_index.knn(q, k=3)[1] for q in queries]
+    _, segment_neighbors = hausdorff.knn(queries, k=3)
     segment_query_seconds = time.perf_counter() - t0
 
     print()
     print(format_table(
         ["method", "build (s)", "query 20x3NN (s)", "memory (MB)"],
         [
-            ["TrajCL + IVF", embed_seconds + ivf_build_seconds,
-             ivf_query_seconds, index.memory_bytes / 1e6],
+            ["TrajCL + IVF", ivf_build_seconds, ivf_query_seconds,
+             trajcl.index.memory_bytes / 1e6],
             ["Hausdorff + segment idx", segment_build_seconds,
-             segment_query_seconds, segment_index.memory_bytes / 1e6],
+             segment_query_seconds,
+             hausdorff.index.memory_bytes / 1e6],
         ],
     ))
 

@@ -5,16 +5,15 @@ This walks the full pipeline of the paper's Fig. 2 at laptop scale:
 1. generate a Porto-like synthetic taxi dataset;
 2. learn grid-cell embeddings with node2vec (paper §IV-B);
 3. pre-train the TrajCL encoder contrastively (no labels, paper §III);
-4. embed trajectories and run a 3-nearest-neighbour query (the paper's
-   Fig. 1 scenario), comparing against the Hausdorff heuristic.
+4. stand up a :class:`repro.api.SimilarityService` per backend and run a
+   3-nearest-neighbour query (the paper's Fig. 1 scenario), comparing
+   TrajCL against the Hausdorff heuristic.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
+from repro.api import SimilarityService
 from repro.eval import build_city_pipeline, format_table
-from repro.measures import get_measure
 
 
 def main() -> None:
@@ -26,31 +25,27 @@ def main() -> None:
           f"final loss {pipeline.history.losses[-1]:.3f}, "
           f"{pipeline.history.total_seconds:.1f}s")
 
-    # Embed the whole dataset once; similarity = L1 distance in this space.
+    # One service per backend over the same database; similarity = L1
+    # distance in embedding space for TrajCL, exact Hausdorff for the
+    # heuristic — the unified repro.api contract.
     trajectories = pipeline.trajectories
-    embeddings = pipeline.model.encode(trajectories)
-    print(f"  embeddings: {embeddings.shape}")
+    trajcl = SimilarityService(backend=pipeline.model).add(trajectories)
+    hausdorff = SimilarityService(backend="hausdorff").add(trajectories)
+    print(f"  services: {trajcl} / {hausdorff}")
 
-    # 3NN query for one held-out-style trajectory (cf. paper Fig. 1).
+    # 3NN query for one database trajectory (cf. paper Fig. 1); ``exclude``
+    # keeps the query itself out of its own neighbour list.
     query_index = 7
-    query_embedding = embeddings[query_index]
-    distances = np.abs(embeddings - query_embedding).sum(axis=1)
-    distances[query_index] = np.inf  # exclude self
-    trajcl_top3 = np.argsort(distances)[:3]
-
-    hausdorff = get_measure("hausdorff")
-    heuristic_distances = np.array([
-        hausdorff.distance(trajectories[query_index], t) for t in trajectories
-    ])
-    heuristic_distances[query_index] = np.inf
-    hausdorff_top3 = np.argsort(heuristic_distances)[:3]
+    query = trajectories[query_index]
+    trajcl_d, trajcl_ids = trajcl.knn(query, k=3, exclude=query_index)
+    haus_d, haus_ids = hausdorff.knn(query, k=3, exclude=query_index)
 
     rows = []
     for rank in range(3):
         rows.append([
             rank + 1,
-            int(trajcl_top3[rank]), f"{distances[trajcl_top3[rank]]:.3f}",
-            int(hausdorff_top3[rank]), f"{heuristic_distances[hausdorff_top3[rank]]:.1f}",
+            int(trajcl_ids[0, rank]), f"{trajcl_d[0, rank]:.3f}",
+            int(haus_ids[0, rank]), f"{haus_d[0, rank]:.1f}",
         ])
     print()
     print("3NN of trajectory", query_index, "(TrajCL embedding vs Hausdorff):")
@@ -58,7 +53,7 @@ def main() -> None:
         ["rank", "TrajCL id", "L1 dist", "Hausdorff id", "H dist"], rows
     ))
 
-    overlap = len(set(trajcl_top3.tolist()) & set(hausdorff_top3.tolist()))
+    overlap = len(set(trajcl_ids[0].tolist()) & set(haus_ids[0].tolist()))
     print(f"\nTop-3 overlap with Hausdorff: {overlap}/3")
     print("Per-pair similarity cost: O(d) embedding distance vs O(n*m) heuristic.")
 

@@ -3,6 +3,9 @@
 *Contrastive Trajectory Similarity Learning with Dual-Feature Attention*
 (Chang, Qi, Liang, Tanin), rebuilt as a self-contained Python library:
 
+* :mod:`repro.api` — **the canonical entry point**: one backend registry
+  and :class:`~repro.api.SimilarityService` facade over every similarity
+  method and kNN index in the repo;
 * :mod:`repro.core` — the TrajCL model (augmentations, dual-feature
   attention encoder, MoCo contrastive training, heuristic fine-tuning);
 * :mod:`repro.nn` — the numpy autodiff / neural-network substrate;
@@ -15,19 +18,45 @@
 * :mod:`repro.index` — IVFFlat and segment-based kNN indexes;
 * :mod:`repro.eval` — mean rank, HR@k, experiment pipeline.
 
-Quickstart::
+Quickstart — every method is a named backend behind one service::
 
-    from repro.eval import build_city_pipeline, evaluate_mean_rank, make_instance
+    from repro.api import SimilarityService, available_backends
+    from repro.eval import build_city_pipeline
+
+    available_backends()        # trajcl + 8 learned baselines + 4 heuristics
 
     pipeline = build_city_pipeline("porto", n_trajectories=240)
-    instance = make_instance(pipeline.trajectories, n_queries=20, database_size=120)
-    print(evaluate_mean_rank(pipeline.model, instance))
+    service = SimilarityService(backend=pipeline.model, index="ivf")
+    service.add(pipeline.trajectories)
+
+    # 3 nearest neighbours of trajectory 7 (excluding itself).
+    distances, ids = service.knn(pipeline.trajectories[7], k=3, exclude=7)
+
+    service.save("porto.npz")   # config + weights + index state, one file
+    service = SimilarityService.load("porto.npz")
+
+The same queries run against any backend by name, e.g.
+``SimilarityService(backend="hausdorff")`` (exact heuristic kNN with the
+segment index) or ``SimilarityService(backend="t2vec",
+backend_kwargs={"trajectories": trajs})``.
 """
 
-from . import baselines, core, datasets, eval, graph, index, measures, nn, trajectory
+from . import (
+    api,
+    baselines,
+    core,
+    datasets,
+    eval,
+    graph,
+    index,
+    measures,
+    nn,
+    trajectory,
+)
+from .api import SimilarityService, available_backends, get_backend
 from .core import TrajCL, TrajCLConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
@@ -39,6 +68,10 @@ __all__ = [
     "datasets",
     "index",
     "eval",
+    "api",
+    "SimilarityService",
+    "available_backends",
+    "get_backend",
     "TrajCL",
     "TrajCLConfig",
     "__version__",

@@ -1,0 +1,76 @@
+"""``repro.api`` — the unified similarity service layer.
+
+One registry, one protocol, one facade for every similarity method in the
+repo: the TrajCL model, the eight learned baselines and the four heuristic
+measures all resolve by name and answer the same contract::
+
+    from repro.api import SimilarityService, available_backends, get_backend
+
+    available_backends()
+    # ['cstrm', 'e2dtc', 'edr', 'edwp', 'frechet', 'hausdorff', 'neutraj',
+    #  't2vec', 't3s', 'traj2simvec', 'trajcl', 'trajgat', 'trjsr']
+
+    service = SimilarityService(backend="trajcl",
+                                backend_kwargs={"checkpoint": "model.npz"},
+                                index="ivf")
+    service.add(trajectories)
+    distances, ids = service.knn(trajectories[0], k=3, exclude=0)
+
+Backends come in two kinds: ``"embedding"`` (``encode(trajectories) ->
+(N, d)``, L1 similarity) and ``"distance"`` (``distance(a, b) -> float``).
+The :class:`SimilarityService` composes a backend with a pluggable kNN
+index (``"bruteforce"``, ``"ivf"``, ``"segment"``), chunks and caches
+embeddings, and snapshots config + weights + index state to one ``.npz``.
+"""
+
+from .protocols import (
+    DISTANCE,
+    EMBEDDING,
+    EmbeddingBackend,
+    Index,
+    MeasureBackend,
+    SimilarityBackend,
+    as_backend,
+)
+from .registry import (
+    BackendSpec,
+    available_backends,
+    backend_spec,
+    get_backend,
+    register_backend,
+)
+from . import backends as _backends  # populate the registry  # noqa: F401
+from .backends import backend_state, restore_backend
+from .indexes import (
+    BruteForceBackendIndex,
+    IVFBackendIndex,
+    SegmentBackendIndex,
+    available_indexes,
+    get_index,
+    register_index,
+)
+from .service import SimilarityService
+
+__all__ = [
+    "EMBEDDING",
+    "DISTANCE",
+    "SimilarityBackend",
+    "EmbeddingBackend",
+    "MeasureBackend",
+    "Index",
+    "as_backend",
+    "BackendSpec",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "backend_spec",
+    "backend_state",
+    "restore_backend",
+    "register_index",
+    "get_index",
+    "available_indexes",
+    "BruteForceBackendIndex",
+    "IVFBackendIndex",
+    "SegmentBackendIndex",
+    "SimilarityService",
+]

@@ -1,0 +1,236 @@
+"""Index adapters: one :class:`~repro.api.protocols.Index` contract over the
+brute-force, IVFFlat and segment-Hausdorff structures of :mod:`repro.index`.
+
+Vector indexes (``"bruteforce"``, ``"ivf"``) consume the embeddings an
+embedding backend produces; the trajectory index (``"segment"``) consumes
+raw trajectories and answers exact Hausdorff kNN with pruning, so it only
+composes with the ``"hausdorff"`` distance backend.
+
+The IVF adapter hides the train-before-add dance of the raw
+:class:`~repro.index.ivf.IVFFlatIndex`: vectors accumulate in a buffer and
+the coarse quantizer is (re)trained lazily on first search, with ``n_lists``
+clamped to what the data supports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..index import BruteForceIndex, IVFFlatIndex, SegmentHausdorffIndex
+from ..trajectory import as_points
+from .protocols import Index
+
+__all__ = [
+    "BruteForceBackendIndex",
+    "IVFBackendIndex",
+    "SegmentBackendIndex",
+    "register_index",
+    "get_index",
+    "available_indexes",
+]
+
+_INDEXES: Dict[str, Callable[..., Index]] = {}
+
+
+def register_index(name: str):
+    """Decorator registering an index factory under ``name``."""
+
+    def decorate(factory):
+        _INDEXES[name] = factory
+        return factory
+
+    return decorate
+
+
+def get_index(name: str, **kwargs) -> Index:
+    """Instantiate a registered index (``"bruteforce"``/``"ivf"``/``"segment"``)."""
+    try:
+        factory = _INDEXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown index {name!r}; available: {available_indexes()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_indexes() -> List[str]:
+    """Sorted names of every registered index type."""
+    return sorted(_INDEXES)
+
+
+@register_index("bruteforce")
+class BruteForceBackendIndex(Index):
+    """Exact full-scan kNN over embedding vectors."""
+
+    name = "bruteforce"
+    consumes = "vectors"
+
+    def __init__(self, metric: str = "l1"):
+        self.metric = metric
+        self._inner: Optional[BruteForceIndex] = None
+
+    def add(self, items) -> None:
+        vectors = np.atleast_2d(np.asarray(items, dtype=np.float64))
+        if self._inner is None:
+            self._inner = BruteForceIndex(vectors.shape[1], metric=self.metric)
+        self._inner.add(vectors)
+
+    def search(self, queries, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._inner is None:
+            raise RuntimeError("index is empty")
+        return self._inner.search(np.atleast_2d(queries), k)
+
+    def __len__(self) -> int:
+        return 0 if self._inner is None else len(self._inner)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the stored vectors."""
+        return 0 if self._inner is None else self._inner._data.nbytes
+
+    def state(self):
+        meta = {"type": self.name, "metric": self.metric}
+        arrays = {}
+        if self._inner is not None:
+            arrays["data"] = self._inner._data
+        return meta, arrays
+
+    @classmethod
+    def restore(cls, meta, arrays) -> "BruteForceBackendIndex":
+        index = cls(metric=meta["metric"])
+        if "data" in arrays and len(arrays["data"]):
+            index.add(arrays["data"])
+        return index
+
+
+@register_index("ivf")
+class IVFBackendIndex(Index):
+    """IVFFlat (Voronoi inverted lists) with lazy, auto-sized training."""
+
+    name = "ivf"
+    consumes = "vectors"
+
+    def __init__(
+        self,
+        n_lists: int = 16,
+        n_probe: int = 4,
+        metric: str = "l1",
+        seed: int = 0,
+    ):
+        self.n_lists = n_lists
+        self.n_probe = n_probe
+        self.metric = metric
+        self.seed = seed
+        self._vectors = np.empty((0, 0))
+        self._inner: Optional[IVFFlatIndex] = None
+
+    def add(self, items) -> None:
+        vectors = np.atleast_2d(np.asarray(items, dtype=np.float64))
+        if self._vectors.size == 0:
+            self._vectors = vectors.copy()
+        else:
+            self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+        self._inner = None  # rebuilt lazily with the new contents
+
+    def _build(self) -> IVFFlatIndex:
+        if self._inner is None:
+            # Coarse quantizer needs >= n_lists training vectors and stays
+            # meaningful with a few vectors per cell.
+            n_lists = max(1, min(self.n_lists, len(self._vectors) // 4))
+            inner = IVFFlatIndex(
+                self._vectors.shape[1], n_lists=n_lists, metric=self.metric,
+                n_probe=max(1, min(self.n_probe, n_lists)),
+            )
+            inner.train(self._vectors, rng=np.random.default_rng(self.seed))
+            inner.add(self._vectors)
+            self._inner = inner
+        return self._inner
+
+    def search(self, queries, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if len(self._vectors) == 0:
+            raise RuntimeError("index is empty")
+        return self._build().search(np.atleast_2d(queries), k)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate resident size (inverted lists + ids + centres)."""
+        return 0 if len(self._vectors) == 0 else self._build().memory_bytes
+
+    def state(self):
+        meta = {
+            "type": self.name, "metric": self.metric, "n_lists": self.n_lists,
+            "n_probe": self.n_probe, "seed": self.seed,
+        }
+        return meta, {"vectors": self._vectors}
+
+    @classmethod
+    def restore(cls, meta, arrays) -> "IVFBackendIndex":
+        index = cls(n_lists=meta["n_lists"], n_probe=meta["n_probe"],
+                    metric=meta["metric"], seed=meta["seed"])
+        if "vectors" in arrays and len(arrays["vectors"]):
+            index.add(arrays["vectors"])
+        return index
+
+
+@register_index("segment")
+class SegmentBackendIndex(Index):
+    """Exact Hausdorff kNN over raw trajectories (segment buckets + pruning)."""
+
+    name = "segment"
+    consumes = "trajectories"
+    #: the measure this index answers; the service refuses to compose it
+    #: with a different distance backend
+    measure_name = "hausdorff"
+
+    def __init__(self, bucket_size: float = 500.0):
+        self.bucket_size = bucket_size
+        self._trajectories: List[np.ndarray] = []
+        self._inner: Optional[SegmentHausdorffIndex] = None
+
+    def add(self, items) -> None:
+        self._trajectories.extend(as_points(t) for t in items)
+        self._inner = None  # rebuilt lazily with the new contents
+
+    def _build(self) -> SegmentHausdorffIndex:
+        if self._inner is None:
+            inner = SegmentHausdorffIndex(bucket_size=self.bucket_size)
+            inner.build(self._trajectories)
+            self._inner = inner
+        return self._inner
+
+    def search(self, queries, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._trajectories:
+            raise RuntimeError("index is empty")
+        inner = self._build()
+        distances, indices = [], []
+        for query in queries:
+            d, i = inner.knn(query, k)
+            # Pad so every row is length k, mirroring the vector indexes.
+            if len(d) < k:
+                d = np.concatenate([d, np.full(k - len(d), np.inf)])
+                i = np.concatenate([i, np.full(k - len(i), -1, dtype=np.int64)])
+            distances.append(d)
+            indices.append(i)
+        return np.stack(distances), np.stack(indices)
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate resident size (points + MBRs + segment buckets)."""
+        return 0 if not self._trajectories else self._build().memory_bytes
+
+    def state(self):
+        # Trajectories are stored by the service itself; the segment
+        # structure is deterministic, so only the knob needs recording.
+        return {"type": self.name, "bucket_size": self.bucket_size}, {}
+
+    @classmethod
+    def restore(cls, meta, arrays) -> "SegmentBackendIndex":
+        return cls(bucket_size=meta["bucket_size"])

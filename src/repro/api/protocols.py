@@ -1,0 +1,248 @@
+"""Core protocols of the unified similarity API.
+
+Every similarity method in the repo — the TrajCL model, the eight learned
+baselines and the four heuristic measures — is exposed to callers through
+one of two backend *kinds*:
+
+* ``"embedding"`` — the method maps trajectories to vectors
+  (``encode(trajectories) -> (N, d)``) and similarity is a vector metric
+  (L1 throughout the paper);
+* ``"distance"`` — the method scores pairs directly
+  (``distance(a, b) -> float``), the contract of the heuristic measures.
+
+:class:`SimilarityBackend` unifies both: every backend answers
+``distance`` and ``pairwise``; embedding backends additionally answer
+``encode``. :class:`Index` is the matching contract for kNN structures so
+:class:`~repro.api.service.SimilarityService` can swap brute-force, IVF
+and segment indexes behind one interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trajectory.trajectory import TrajectoryLike
+
+#: backend kinds
+EMBEDDING = "embedding"
+DISTANCE = "distance"
+
+
+class SimilarityBackend(ABC):
+    """A named trajectory-similarity method (lower distance = more similar)."""
+
+    #: registry name, e.g. ``"trajcl"`` or ``"hausdorff"``
+    name: str = "abstract"
+    #: ``"embedding"`` or ``"distance"``
+    kind: str = EMBEDDING
+
+    def encode(self, trajectories: Sequence[TrajectoryLike]) -> np.ndarray:
+        """Embed trajectories as ``(N, d)`` vectors (embedding backends only)."""
+        raise NotImplementedError(
+            f"backend {self.name!r} is a {self.kind!r} backend and does not "
+            "produce embeddings"
+        )
+
+    @abstractmethod
+    def distance(self, a: TrajectoryLike, b: TrajectoryLike) -> float:
+        """Dissimilarity of one trajectory pair."""
+
+    @abstractmethod
+    def pairwise(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Sequence[TrajectoryLike],
+    ) -> np.ndarray:
+        """Dense ``(|Q|, |D|)`` distance matrix."""
+
+    # ``eval.distance_matrix_of`` and the benchmark harnesses historically
+    # dispatched on this method name; keeping it as an alias lets a backend
+    # drop into any code written for the learned models.
+    def distance_matrix(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Sequence[TrajectoryLike],
+    ) -> np.ndarray:
+        return self.pairwise(queries, database)
+
+    @property
+    def output_dim(self) -> Optional[int]:
+        """Embedding dimensionality, or None for distance backends."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, kind={self.kind!r})"
+
+
+class EmbeddingBackend(SimilarityBackend):
+    """Adapter giving any ``encode()``-bearing model the backend contract.
+
+    Wraps :class:`repro.core.TrajCL`, every
+    :class:`repro.baselines.LearnedSimilarityMeasure`, or anything else with
+    ``encode(trajectories) -> (N, d)``. Distances are L1 in embedding space,
+    the paper's similarity convention.
+    """
+
+    kind = EMBEDDING
+
+    def __init__(self, name: str, model, metric: str = "l1"):
+        if not hasattr(model, "encode"):
+            raise TypeError(
+                f"{type(model).__name__} has no encode(); cannot wrap it as "
+                "an embedding backend"
+            )
+        if metric not in ("l1", "l2"):
+            raise ValueError("metric must be 'l1' or 'l2'")
+        self.name = name
+        self.model = model
+        self.metric = metric
+
+    def encode(self, trajectories: Sequence[TrajectoryLike]) -> np.ndarray:
+        return np.asarray(self.model.encode(trajectories), dtype=np.float64)
+
+    def distance(self, a: TrajectoryLike, b: TrajectoryLike) -> float:
+        return float(self.pairwise([a], [b])[0, 0])
+
+    def pairwise(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Sequence[TrajectoryLike],
+    ) -> np.ndarray:
+        # A model's own distance_matrix is authoritative: the heuristic
+        # approximators rescale L1 distances onto the target measure there.
+        own = getattr(self.model, "distance_matrix", None)
+        if callable(own):
+            return own(queries, database)
+        from ..index.bruteforce import pairwise_distances
+
+        return self.scale * pairwise_distances(
+            self.encode(queries), self.encode(database), self.metric
+        )
+
+    @property
+    def scale(self) -> float:
+        """Factor mapping embedding distances onto the method's scale."""
+        return float(getattr(self.model, "target_scale", 1.0))
+
+    @property
+    def output_dim(self) -> Optional[int]:
+        for attr in ("output_dim", "encoder"):
+            value = getattr(self.model, attr, None)
+            if isinstance(value, int) and value > 0:
+                return value
+            dim = getattr(value, "output_dim", None)
+            if isinstance(dim, int) and dim > 0:
+                return dim
+        return None
+
+
+class MeasureBackend(SimilarityBackend):
+    """Adapter exposing a heuristic measure as a distance backend."""
+
+    kind = DISTANCE
+
+    def __init__(self, measure):
+        if not hasattr(measure, "distance"):
+            raise TypeError(
+                f"{type(measure).__name__} has no distance(); cannot wrap it "
+                "as a distance backend"
+            )
+        self.name = getattr(measure, "name", type(measure).__name__.lower())
+        self.measure = measure
+
+    def distance(self, a: TrajectoryLike, b: TrajectoryLike) -> float:
+        return float(self.measure.distance(a, b))
+
+    def pairwise(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Sequence[TrajectoryLike],
+    ) -> np.ndarray:
+        return self.measure.pairwise(queries, database)
+
+
+def as_backend(method, name: Optional[str] = None) -> SimilarityBackend:
+    """Coerce any similarity method into a :class:`SimilarityBackend`.
+
+    Accepts an existing backend (returned unchanged), a heuristic
+    :class:`~repro.measures.TrajectorySimilarityMeasure`, or any model with
+    ``encode()`` (TrajCL, the learned baselines, fine-tuned approximators).
+    """
+    if isinstance(method, SimilarityBackend):
+        return method
+    from ..measures.base import TrajectorySimilarityMeasure
+
+    if isinstance(method, TrajectorySimilarityMeasure):
+        return MeasureBackend(method)
+    if hasattr(method, "encode"):
+        inferred = name or getattr(method, "name", type(method).__name__.lower())
+        return EmbeddingBackend(inferred, method)
+    if hasattr(method, "distance"):
+        return MeasureBackend(method)
+    if hasattr(method, "pairwise") or hasattr(method, "distance_matrix"):
+        return _MatrixBackend(method, name)
+    raise TypeError(
+        f"cannot interpret {type(method).__name__} as a similarity backend"
+    )
+
+
+class _MatrixBackend(SimilarityBackend):
+    """Last-resort adapter for objects that only expose a distance matrix
+    (e.g. a :class:`~repro.api.service.SimilarityService` used as a method)."""
+
+    kind = DISTANCE
+
+    def __init__(self, method, name: Optional[str] = None):
+        self.method = method
+        self.name = name or getattr(method, "name", type(method).__name__.lower())
+
+    def _matrix(self, queries, database) -> np.ndarray:
+        fn = getattr(self.method, "pairwise", None) or self.method.distance_matrix
+        return fn(queries, database)
+
+    def distance(self, a: TrajectoryLike, b: TrajectoryLike) -> float:
+        return float(self._matrix([a], [b])[0, 0])
+
+    def pairwise(self, queries, database) -> np.ndarray:
+        return self._matrix(queries, database)
+
+
+class Index(ABC):
+    """kNN structure the :class:`SimilarityService` composes with a backend.
+
+    ``consumes`` declares what :meth:`add` expects: vector indexes take the
+    backend's embeddings (``"vectors"``); trajectory indexes (the segment
+    Hausdorff index) take the raw trajectories (``"trajectories"``).
+    """
+
+    #: registry name, e.g. ``"bruteforce"``
+    name: str = "abstract"
+    #: ``"vectors"`` or ``"trajectories"``
+    consumes: str = "vectors"
+
+    @abstractmethod
+    def add(self, items) -> None:
+        """Insert vectors or trajectories (see :attr:`consumes`)."""
+
+    @abstractmethod
+    def search(self, queries, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distances, indices)`` of the k nearest per query, ascending."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of indexed items."""
+
+    # ------------------------------------------------------------------
+    # Persistence: meta must be JSON-able, arrays are numpy payloads.
+    # ------------------------------------------------------------------
+    def state(self) -> Tuple[Dict, Dict[str, np.ndarray]]:
+        """``(meta, arrays)`` snapshot for :meth:`SimilarityService.save`."""
+        raise NotImplementedError(f"index {self.name!r} does not support save")
+
+    @classmethod
+    def restore(cls, meta: Dict, arrays: Dict[str, np.ndarray]) -> "Index":
+        """Rebuild an index from a :meth:`state` snapshot."""
+        raise NotImplementedError(f"{cls.__name__} does not support load")

@@ -1,0 +1,347 @@
+"""The :class:`SimilarityService` facade — backend + index + cache in one.
+
+The service is the canonical entry point for trajectory-similarity
+workloads: pick a backend by name, add a database, ask for neighbours::
+
+    from repro.api import SimilarityService
+
+    service = SimilarityService(backend="trajcl",
+                                backend_kwargs={"checkpoint": "model.npz"})
+    service.add(trajectories)
+    distances, indices = service.knn(trajectories[7], k=3, exclude=7)
+    service.save("service.npz")               # config + weights + index state
+
+Embeddings are computed in chunks with a content-addressed cache, so
+repeated queries over the same trajectories never re-run the encoder. The
+kNN path over-fetches and filters, so self-matches (an explicit ``exclude``
+id, or near-zero distances under ``dedupe_eps``) never silently shrink the
+result below ``k``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..trajectory import as_points
+from ..trajectory.trajectory import TrajectoryLike
+from .backends import backend_state, restore_backend
+from .indexes import get_index
+from .protocols import DISTANCE, EMBEDDING, Index, SimilarityBackend, as_backend
+from .registry import get_backend
+
+__all__ = ["SimilarityService"]
+
+_FORMAT_VERSION = 1
+_META_KEY = "__service__"
+_BACKEND_PREFIX = "backend/"
+_INDEX_PREFIX = "index/"
+_TRAJ_PREFIX = "traj_"
+
+
+def _default_index_for(backend: SimilarityBackend) -> Optional[str]:
+    if backend.kind == EMBEDDING:
+        return "bruteforce"
+    if backend.name == "hausdorff":
+        return "segment"
+    return None  # generic distance backends fall back to a pairwise scan
+
+
+class SimilarityService:
+    """Similarity queries over one backend and one (optional) kNN index."""
+
+    def __init__(
+        self,
+        backend: Union[str, SimilarityBackend, object] = "trajcl",
+        index: Union[str, Index, None] = None,
+        *,
+        backend_kwargs: Optional[Dict] = None,
+        index_kwargs: Optional[Dict] = None,
+        batch_size: int = 256,
+        cache_size: int = 4096,
+    ):
+        if isinstance(backend, str):
+            backend = get_backend(backend, **(backend_kwargs or {}))
+        else:
+            backend = as_backend(backend)
+        self.backend = backend
+
+        if index is None:
+            index = _default_index_for(backend)
+        if isinstance(index, str):
+            kwargs = dict(index_kwargs or {})
+            if "metric" not in kwargs and hasattr(backend, "metric"):
+                # Vector indexes must rank by the backend's own metric or
+                # knn and pairwise would disagree.
+                try:
+                    index = get_index(index, metric=backend.metric, **kwargs)
+                except TypeError:
+                    index = get_index(index, **kwargs)
+            else:
+                index = get_index(index, **kwargs)
+        if index is not None:
+            if index.consumes == "vectors" and backend.kind != EMBEDDING:
+                raise ValueError(
+                    f"index {index.name!r} needs embeddings but backend "
+                    f"{backend.name!r} is a distance backend"
+                )
+            if index.consumes == "trajectories":
+                if backend.kind != DISTANCE:
+                    raise ValueError(
+                        f"index {index.name!r} answers heuristic kNN "
+                        f"directly; compose it with a distance backend, not "
+                        f"{backend.name!r}"
+                    )
+                measure = getattr(index, "measure_name", backend.name)
+                if measure != backend.name:
+                    raise ValueError(
+                        f"index {index.name!r} answers {measure!r} kNN; "
+                        f"composing it with backend {backend.name!r} would "
+                        "return neighbours under the wrong measure"
+                    )
+        self.index = index
+
+        self.batch_size = int(batch_size)
+        self.cache_size = int(cache_size)
+        self.trajectories: List[np.ndarray] = []
+        self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Database
+    # ------------------------------------------------------------------
+    def add(self, trajectories: Sequence[TrajectoryLike]) -> "SimilarityService":
+        """Append trajectories to the database (and the index, if any)."""
+        points = [as_points(t) for t in self._as_batch(trajectories)]
+        if not points:
+            return self
+        self.trajectories.extend(points)
+        if self.index is not None:
+            if self.index.consumes == "vectors":
+                self.index.add(self.encode_batch(points))
+            else:
+                self.index.add(points)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    @staticmethod
+    def _as_batch(trajectories) -> List:
+        """A bare (L, 2) array is one trajectory, not L of them."""
+        if isinstance(trajectories, np.ndarray) and trajectories.ndim == 2:
+            return [trajectories]
+        return list(trajectories)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_batch(self, trajectories: Sequence[TrajectoryLike]) -> np.ndarray:
+        """Chunked, cached embeddings ``(N, d)`` (embedding backends only)."""
+        batch = [as_points(t) for t in self._as_batch(trajectories)]
+        keys = [self._cache_key(points) for points in batch]
+        out: List[Optional[np.ndarray]] = [None] * len(batch)
+        missing: List[int] = []
+        for position, key in enumerate(keys):
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+                out[position] = hit
+                self.cache_hits += 1
+            else:
+                missing.append(position)
+                self.cache_misses += 1
+        for start in range(0, len(missing), self.batch_size):
+            chunk = missing[start:start + self.batch_size]
+            encoded = self.backend.encode([batch[i] for i in chunk])
+            for row, position in enumerate(chunk):
+                vector = np.asarray(encoded[row], dtype=np.float64)
+                out[position] = vector
+                self._cache_put(keys[position], vector)
+        return np.stack(out) if out else np.empty((0, 0))
+
+    @staticmethod
+    def _cache_key(points: np.ndarray) -> str:
+        digest = hashlib.sha1(np.ascontiguousarray(points).tobytes())
+        digest.update(str(points.shape).encode())
+        return digest.hexdigest()
+
+    def _cache_put(self, key: str, vector: np.ndarray) -> None:
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = vector
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pairwise(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Optional[Sequence[TrajectoryLike]] = None,
+    ) -> np.ndarray:
+        """Dense ``(|Q|, |D|)`` distances; D defaults to the added database."""
+        queries = self._as_batch(queries)
+        if database is None:
+            database = self.trajectories
+        if self.backend.kind == EMBEDDING and database is self.trajectories:
+            # Route through the embedding cache for the stored database.
+            # ``scale`` keeps parity with backends whose distances live on a
+            # target measure's scale (the supervised approximators).
+            from ..index.bruteforce import pairwise_distances
+
+            metric = getattr(self.backend, "metric", "l1")
+            scale = getattr(self.backend, "scale", 1.0)
+            return scale * pairwise_distances(
+                self.encode_batch(queries), self.encode_batch(database), metric
+            )
+        return self.backend.pairwise(queries, database)
+
+    # ``evaluate_mean_rank`` and friends dispatch on this name.
+    distance_matrix = pairwise
+
+    def knn(
+        self,
+        queries: Sequence[TrajectoryLike],
+        k: int,
+        exclude: Optional[int] = None,
+        dedupe_eps: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``k`` nearest database ids per query: ``(distances, indices)``.
+
+        ``exclude`` drops one database id from every result (the query's own
+        id when querying with a database member); ``dedupe_eps`` drops any
+        neighbour at distance ``<= dedupe_eps`` (self-matches of a query
+        that is a *copy* of a database trajectory). Either way the result
+        still has ``k`` columns — the service over-fetches and filters
+        instead of silently returning fewer neighbours. Rows are padded
+        with ``inf``/``-1`` only when the database itself is too small.
+        """
+        if not self.trajectories:
+            raise RuntimeError("service database is empty; call add() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = [as_points(t) for t in self._as_batch(queries)]
+        n = len(self.trajectories)
+        dropped = (1 if exclude is not None else 0)
+        fetch = min(n, k + dropped + (1 if dedupe_eps is not None else 0))
+        if self.index is None:
+            fetch = n  # the scan ranks everything in one pass anyway
+        while True:
+            distances, indices = self._raw_knn(queries, fetch)
+            kept_d, kept_i, short = [], [], False
+            for row_d, row_i in zip(distances, indices):
+                keep = row_i >= 0
+                if exclude is not None:
+                    keep &= row_i != exclude
+                if dedupe_eps is not None:
+                    keep &= row_d > dedupe_eps
+                row_d, row_i = row_d[keep], row_i[keep]
+                if len(row_d) < k and fetch < n:
+                    short = True
+                kept_d.append(row_d[:k])
+                kept_i.append(row_i[:k])
+            if short:
+                fetch = min(n, max(fetch * 2, k + 1))
+                continue
+            out_d = np.full((len(queries), k), np.inf)
+            out_i = np.full((len(queries), k), -1, dtype=np.int64)
+            for row, (row_d, row_i) in enumerate(zip(kept_d, kept_i)):
+                out_d[row, :len(row_d)] = row_d
+                out_i[row, :len(row_i)] = row_i
+            return out_d, out_i
+
+    def _raw_knn(self, queries: List[np.ndarray], fetch: int):
+        if self.index is not None:
+            if self.index.consumes == "vectors":
+                distances, indices = self.index.search(
+                    self.encode_batch(queries), fetch
+                )
+                return distances * getattr(self.backend, "scale", 1.0), indices
+            return self.index.search(queries, fetch)
+        # Scan path: the full matrix is computed anyway, so return the
+        # complete ranking — the over-fetch loop then never re-scans.
+        matrix = self.pairwise(queries)
+        indices = np.argsort(matrix, axis=1)
+        rows = np.arange(len(queries))[:, None]
+        return matrix[rows, indices], indices.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """One ``.npz`` snapshot: backend config+weights, index state, data."""
+        backend_meta, backend_arrays = backend_state(self.backend)
+        index_meta: Optional[Dict] = None
+        payload: Dict[str, np.ndarray] = {}
+        if self.index is not None:
+            index_meta, index_arrays = self.index.state()
+            for key, value in index_arrays.items():
+                payload[_INDEX_PREFIX + key] = value
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "backend": backend_meta,
+            "index": index_meta,
+            "batch_size": self.batch_size,
+            "cache_size": self.cache_size,
+            "count": len(self.trajectories),
+        }
+        payload[_META_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        for key, value in backend_arrays.items():
+            payload[_BACKEND_PREFIX + key] = value
+        for i, trajectory in enumerate(self.trajectories):
+            payload[f"{_TRAJ_PREFIX}{i}"] = trajectory
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "SimilarityService":
+        """Rebuild a service (backend, index and database) from :meth:`save`."""
+        with np.load(path) as archive:
+            state = {key: archive[key].copy() for key in archive.files}
+        if _META_KEY not in state:
+            raise ValueError(f"{path!r} is not a SimilarityService snapshot")
+        meta = json.loads(bytes(state[_META_KEY]).decode("utf-8"))
+        version = meta.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported SimilarityService snapshot version {version!r}"
+            )
+        backend = restore_backend(meta["backend"], {
+            key[len(_BACKEND_PREFIX):]: value
+            for key, value in state.items() if key.startswith(_BACKEND_PREFIX)
+        })
+        index = None
+        if meta["index"] is not None:
+            index_arrays = {
+                key[len(_INDEX_PREFIX):]: value
+                for key, value in state.items() if key.startswith(_INDEX_PREFIX)
+            }
+            index = get_index(meta["index"]["type"]).restore(
+                meta["index"], index_arrays
+            )
+        service = cls(
+            backend=backend, index=index,
+            batch_size=meta["batch_size"], cache_size=meta["cache_size"],
+        )
+        service.trajectories = [
+            state[f"{_TRAJ_PREFIX}{i}"] for i in range(meta["count"])
+        ]
+        if index is not None and index.consumes == "trajectories" and not len(index):
+            index.add(service.trajectories)
+        return service
+
+    def __repr__(self) -> str:
+        index_name = self.index.name if self.index is not None else None
+        return (
+            f"SimilarityService(backend={self.backend.name!r}, "
+            f"index={index_name!r}, size={len(self)})"
+        )

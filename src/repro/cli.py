@@ -6,9 +6,16 @@ Exposes the library's main workflows without writing code:
 * ``train``     — pre-train TrajCL on a city (or an ``.npz`` dataset) and
   save the full pipeline checkpoint;
 * ``encode``    — embed trajectories with a trained checkpoint;
-* ``evaluate``  — mean-rank evaluation of a checkpoint (and optionally the
-  heuristic measures) under the paper's §V-B protocol;
-* ``knn``       — k-nearest-neighbour queries via the IVF index.
+* ``backends``  — list every similarity backend in the ``repro.api``
+  registry;
+* ``evaluate``  — mean-rank evaluation of any registered backend under the
+  paper's §V-B protocol;
+* ``knn``       — k-nearest-neighbour queries through the
+  :class:`repro.api.SimilarityService`.
+
+Every similarity method is resolved by name through :mod:`repro.api`;
+``evaluate`` and ``knn`` accept ``--backend`` with any name from
+``python -m repro backends``.
 """
 
 from __future__ import annotations
@@ -20,20 +27,71 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+#: version of the ``.npz`` trajectory container written by
+#: :func:`save_trajectories`. Files written before versioning carry no
+#: ``format_version`` field and are read as version 1 (same layout).
+TRAJECTORY_FORMAT_VERSION = 1
+
 
 def _load_trajectories(path: str) -> List[np.ndarray]:
     """Read trajectories from an ``.npz`` written by ``save_trajectories``."""
     with np.load(path) as archive:
+        if "format_version" in archive.files:
+            version = int(archive["format_version"])
+            if version != TRAJECTORY_FORMAT_VERSION:
+                raise ValueError(
+                    f"{path!r} uses trajectory format version {version}, but "
+                    f"this build reads version {TRAJECTORY_FORMAT_VERSION}; "
+                    "re-export the dataset with save_trajectories"
+                )
+        if "count" not in archive.files:
+            raise ValueError(
+                f"{path!r} is not a trajectory dataset (no 'count' field)"
+            )
         count = int(archive["count"])
         return [archive[f"traj_{i}"] for i in range(count)]
 
 
+def load_trajectories(path: str) -> List[np.ndarray]:
+    """Public alias of the versioned trajectory reader."""
+    return _load_trajectories(path)
+
+
 def save_trajectories(path: str, trajectories: Sequence[np.ndarray]) -> None:
-    """Write trajectories to ``.npz`` (one array per trajectory)."""
-    payload = {"count": np.array(len(trajectories))}
+    """Write trajectories to ``.npz`` (one array per trajectory, versioned)."""
+    payload = {
+        "format_version": np.array(TRAJECTORY_FORMAT_VERSION),
+        "count": np.array(len(trajectories)),
+    }
     for i, trajectory in enumerate(trajectories):
         payload[f"traj_{i}"] = np.asarray(trajectory, dtype=np.float64)
     np.savez_compressed(path, **payload)
+
+
+def _resolve_backend(name: str, args, trajectories: List[np.ndarray]):
+    """Build the named backend from the CLI's inputs.
+
+    ``trajcl`` loads ``--checkpoint``; heuristics need nothing; the learned
+    baselines are trained on the loaded dataset (``--train-epochs``).
+    """
+    from .api import backend_spec, get_backend
+
+    try:
+        spec = backend_spec(name)
+    except KeyError as error:
+        raise SystemExit(str(error).strip('"')) from None
+    if name == "trajcl":
+        if not getattr(args, "checkpoint", None):
+            raise SystemExit("backend 'trajcl' needs --checkpoint")
+        return get_backend("trajcl", checkpoint=args.checkpoint)
+    if spec.kind == "distance":
+        return get_backend(name)
+    return get_backend(
+        name,
+        trajectories=trajectories,
+        epochs=getattr(args, "train_epochs", 1),
+        seed=args.seed,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -83,49 +141,80 @@ def cmd_encode(args) -> int:
     return 0
 
 
-def cmd_evaluate(args) -> int:
-    from .core import load_pipeline
-    from .eval import evaluate_mean_rank, format_table, make_instance
-    from .measures import available_measures, get_measure
+def cmd_backends(args) -> int:
+    from .api import available_backends, backend_spec
+    from .eval import format_table
 
-    model = load_pipeline(args.checkpoint)
+    rows = []
+    for name in available_backends():
+        spec = backend_spec(name)
+        rows.append([name, spec.kind, spec.description])
+    print(format_table(["backend", "kind", "description"], rows))
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .api import available_backends, backend_spec
+    from .eval import evaluate_mean_rank, format_table, make_instance
+
     trajectories = _load_trajectories(args.data)
+    names = list(args.backend) if args.backend else ["trajcl"]
+    if args.heuristics:
+        names += [
+            name for name in available_backends()
+            if backend_spec(name).kind == "distance" and name not in names
+        ]
+    # Resolve every backend up front so a missing checkpoint or unknown
+    # name fails before the (potentially slow) instance construction.
+    resolved = [(name, _resolve_backend(name, args, trajectories))
+                for name in names]
     instance = make_instance(
         trajectories, n_queries=args.queries, database_size=args.database,
         seed=args.seed,
     )
-    rows = [["TrajCL", evaluate_mean_rank(model, instance)]]
-    if args.heuristics:
-        for name in available_measures():
-            rows.append([name, evaluate_mean_rank(get_measure(name), instance)])
+    rows = []
+    for name, backend in resolved:
+        label = "TrajCL" if name == "trajcl" else name
+        rows.append([label, evaluate_mean_rank(backend, instance)])
     print(format_table(["method", "mean rank"], rows))
     return 0
 
 
 def cmd_knn(args) -> int:
-    from .core import load_pipeline
-    from .index import IVFFlatIndex
+    from .api import SimilarityService
 
-    model = load_pipeline(args.checkpoint)
     database = _load_trajectories(args.data)
-    embeddings = model.encode(database)
-    n_lists = max(1, min(args.lists, len(embeddings) // 4))
-    index = IVFFlatIndex(embeddings.shape[1], n_lists=n_lists,
-                         n_probe=max(1, n_lists // 4))
-    index.train(embeddings, rng=np.random.default_rng(args.seed))
-    index.add(embeddings)
+    backend = _resolve_backend(args.backend, args, database)
+    index_kwargs = {}
+    index = None  # service default: bruteforce / segment / pairwise scan
+    if args.index == "ivf":
+        # The IVF adapter clamps n_lists to the database size itself.
+        index = "ivf"
+        index_kwargs = {"n_lists": args.lists,
+                        "n_probe": max(1, args.lists // 4),
+                        "seed": args.seed}
+    elif args.index != "auto":
+        index = args.index
 
-    query = database[args.query]
-    distances, neighbors = index.search(model.encode([query]), k=args.k + 1)
-    print(f"{args.k}NN of trajectory {args.query}:")
+    service = SimilarityService(backend=backend, index=index,
+                                index_kwargs=index_kwargs)
+    service.add(database)
+
+    # The query is a database member: exclude its own id so the result is
+    # k true neighbours (not k-1, and never the query itself).
+    distances, neighbors = service.knn(
+        database[args.query], k=args.k, exclude=args.query,
+    )
+    unit = "L1 distance" if backend.kind == "embedding" else f"{backend.name} distance"
+    print(f"{args.k}NN of trajectory {args.query} "
+          f"(backend {backend.name}, index "
+          f"{service.index.name if service.index else 'scan'}):")
     shown = 0
     for distance, neighbor in zip(distances[0], neighbors[0]):
-        if neighbor == args.query:
-            continue  # skip self-match
+        if neighbor < 0:
+            break  # database smaller than k
         shown += 1
-        print(f"  #{shown}: trajectory {neighbor} (L1 distance {distance:.3f})")
-        if shown == args.k:
-            break
+        print(f"  #{shown}: trajectory {neighbor} ({unit} {distance:.3f})")
     return 0
 
 
@@ -162,23 +251,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", required=True, help="embeddings .npy path")
     p.set_defaults(func=cmd_encode)
 
+    p = sub.add_parser("backends",
+                       help="list the registered similarity backends")
+    p.set_defaults(func=cmd_backends)
+
     p = sub.add_parser("evaluate", help="mean-rank evaluation (paper §V-B)")
-    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--checkpoint", help="TrajCL checkpoint "
+                   "(required for --backend trajcl)")
     p.add_argument("--data", required=True)
+    p.add_argument("--backend", action="append",
+                   help="backend name (repeatable; default: trajcl)")
     p.add_argument("--queries", type=int, default=15)
     p.add_argument("--database", type=int, default=100)
     p.add_argument("--heuristics", action="store_true",
                    help="also evaluate Hausdorff/Frechet/EDR/EDwP")
+    p.add_argument("--train-epochs", type=int, default=1,
+                   help="training epochs for learned non-trajcl backends")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_evaluate)
 
-    p = sub.add_parser("knn", help="kNN query over an IVF-indexed database")
-    p.add_argument("--checkpoint", required=True)
+    p = sub.add_parser("knn",
+                       help="kNN query via the similarity service")
+    p.add_argument("--checkpoint", help="TrajCL checkpoint "
+                   "(required for --backend trajcl)")
     p.add_argument("--data", required=True)
+    p.add_argument("--backend", default="trajcl",
+                   help="backend name (see 'backends'; default: trajcl)")
+    p.add_argument("--index", default="auto",
+                   choices=["auto", "bruteforce", "ivf", "segment"],
+                   help="kNN index (auto: exact default for the backend)")
     p.add_argument("--query", type=int, default=0,
                    help="index of the query trajectory within --data")
     p.add_argument("--k", type=int, default=3)
-    p.add_argument("--lists", type=int, default=16)
+    p.add_argument("--lists", type=int, default=16, help="IVF lists")
+    p.add_argument("--train-epochs", type=int, default=1,
+                   help="training epochs for learned non-trajcl backends")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_knn)
     return parser

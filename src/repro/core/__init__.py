@@ -17,7 +17,12 @@ from .augmentation import (
     simplify_vw,
     truncate,
 )
-from .checkpoint import load_pipeline, save_pipeline
+from .checkpoint import (
+    load_pipeline,
+    pipeline_from_state,
+    pipeline_state,
+    save_pipeline,
+)
 from .config import TrajCLConfig
 from .dual_attention import DualMSM
 from .encoder import ConcatSTB, DualSTB, DualSTBLayer, VanillaSTB, build_encoder
@@ -36,6 +41,8 @@ __all__ = [
     "raw",
     "save_pipeline",
     "load_pipeline",
+    "pipeline_state",
+    "pipeline_from_state",
     "make_view",
     "get_augmentation",
     "available_augmentations",

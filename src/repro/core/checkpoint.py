@@ -28,8 +28,13 @@ _CELLS_KEY = "__cell_embeddings__"
 _FORMAT_VERSION = 1
 
 
-def save_pipeline(path: str, model: TrajCL) -> None:
-    """Write config + grid + cell table + model weights to ``path`` (npz)."""
+def pipeline_state(model: TrajCL) -> dict:
+    """Config + grid + cell table + weights as one flat array dict.
+
+    The in-memory form of a pipeline checkpoint; :func:`save_pipeline`
+    writes it to disk, and :mod:`repro.api` embeds it inside service
+    snapshots.
+    """
     grid = model.features.grid
     meta = {
         "format_version": _FORMAT_VERSION,
@@ -48,14 +53,20 @@ def save_pipeline(path: str, model: TrajCL) -> None:
     }
     for key, value in model.state_dict().items():
         payload[_MODEL_PREFIX + key] = value
-    save_state(path, payload)
+    return payload
 
 
-def load_pipeline(path: str, rng: Optional[np.random.Generator] = None) -> TrajCL:
-    """Reconstruct a ready-to-encode :class:`TrajCL` from ``path``."""
-    state = load_state(path)
+def save_pipeline(path: str, model: TrajCL) -> None:
+    """Write config + grid + cell table + model weights to ``path`` (npz)."""
+    save_state(path, pipeline_state(model))
+
+
+def pipeline_from_state(
+    state: dict, rng: Optional[np.random.Generator] = None
+) -> TrajCL:
+    """Inverse of :func:`pipeline_state`."""
     if _META_KEY not in state or _CELLS_KEY not in state:
-        raise ValueError(f"{path!r} is not a TrajCL pipeline checkpoint")
+        raise ValueError("state is not a TrajCL pipeline checkpoint")
     meta = json.loads(bytes(state[_META_KEY]).decode("utf-8"))
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
@@ -81,3 +92,11 @@ def load_pipeline(path: str, rng: Optional[np.random.Generator] = None) -> TrajC
     }
     model.load_state_dict(model_state)
     return model
+
+
+def load_pipeline(path: str, rng: Optional[np.random.Generator] = None) -> TrajCL:
+    """Reconstruct a ready-to-encode :class:`TrajCL` from ``path``."""
+    state = load_state(path)
+    if _META_KEY not in state or _CELLS_KEY not in state:
+        raise ValueError(f"{path!r} is not a TrajCL pipeline checkpoint")
+    return pipeline_from_state(state, rng=rng)

@@ -47,14 +47,24 @@ class NegativeQueue:
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or vectors.shape[1] != self.dim:
             raise ValueError(f"expected (*, {self.dim}) vectors")
-        if self.capacity == 0:
+        if self.capacity == 0 or len(vectors) == 0:
             return
         norms = np.linalg.norm(vectors, axis=1, keepdims=True)
         vectors = vectors / np.maximum(norms, 1e-8)
-        for row in vectors:  # batches are small; clarity over vectorized wrap
-            self._buffer[self._pointer] = row
-            self._pointer = (self._pointer + 1) % self.capacity
-            self._size = min(self._size + 1, self.capacity)
+        if len(vectors) >= self.capacity:
+            # Only the newest ``capacity`` rows survive a full lap; they land
+            # so that the row *after* the final pointer is the oldest.
+            self._pointer = (self._pointer + len(vectors)) % self.capacity
+            self._buffer[:] = np.roll(vectors[-self.capacity:], self._pointer,
+                                      axis=0)
+            self._size = self.capacity
+            return
+        first = min(len(vectors), self.capacity - self._pointer)
+        self._buffer[self._pointer:self._pointer + first] = vectors[:first]
+        if first < len(vectors):  # wrap around to the front
+            self._buffer[:len(vectors) - first] = vectors[first:]
+        self._pointer = (self._pointer + len(vectors)) % self.capacity
+        self._size = min(self._size + len(vectors), self.capacity)
 
     def negatives(self) -> Optional[np.ndarray]:
         """Current contents ``(size, dim)`` or None when empty."""

@@ -93,13 +93,15 @@ def distance_matrix_of(
     queries: Sequence[np.ndarray],
     database: Sequence[np.ndarray],
 ) -> np.ndarray:
-    """Uniform dispatch: heuristic measures expose ``pairwise``; learned
-    models expose ``distance_matrix``."""
-    if isinstance(method, TrajectorySimilarityMeasure):
-        return method.pairwise(queries, database)
-    if hasattr(method, "distance_matrix"):
-        return method.distance_matrix(queries, database)
-    raise TypeError(f"cannot evaluate {type(method).__name__} as a measure")
+    """Uniform dispatch through the :mod:`repro.api` backend protocol.
+
+    Accepts anything :func:`repro.api.as_backend` can coerce — a registered
+    :class:`~repro.api.SimilarityBackend`, a heuristic measure, TrajCL, any
+    learned baseline, or a :class:`~repro.api.SimilarityService`.
+    """
+    from ..api import as_backend
+
+    return as_backend(method).pairwise(queries, database)
 
 
 def evaluate_mean_rank(method, instance: QueryDatabase) -> float:

@@ -1,4 +1,4 @@
-"""Segment-based trajectory index with kNN pruning (the DFT stand-in).
+r"""Segment-based trajectory index with kNN pruning (the DFT stand-in).
 
 The paper's Hausdorff kNN baseline (§V-E) follows DFT [Xie, Li & Phillips,
 PVLDB 2017]: a segment-based spatial index plus lower-bound pruning

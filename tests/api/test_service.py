@@ -1,0 +1,193 @@
+"""Tests for repro.api.SimilarityService: composition, kNN semantics,
+embedding cache, and save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    SimilarityService,
+    available_indexes,
+    get_backend,
+    get_index,
+)
+
+from .test_registry import make_trajectories
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    return make_trajectories(n=16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trajcl_backend(trajectories):
+    return get_backend("trajcl", trajectories=trajectories, dim=8, max_len=16,
+                       epochs=1, seed=0)
+
+
+@pytest.fixture()
+def trajcl_service(trajcl_backend, trajectories):
+    return SimilarityService(backend=trajcl_backend).add(trajectories)
+
+
+class TestComposition:
+    def test_index_registry(self):
+        assert {"bruteforce", "ivf", "segment"} <= set(available_indexes())
+        with pytest.raises(KeyError, match="unknown index"):
+            get_index("no-such-index")
+
+    def test_defaults_by_backend_kind(self, trajcl_backend):
+        assert SimilarityService(backend=trajcl_backend).index.name == "bruteforce"
+        assert SimilarityService(backend="hausdorff").index.name == "segment"
+        assert SimilarityService(backend="edr").index is None
+
+    def test_rejects_mismatched_pairs(self, trajcl_backend):
+        with pytest.raises(ValueError, match="distance backend"):
+            SimilarityService(backend="edr", index="ivf")
+        with pytest.raises(ValueError, match="compose it with a distance"):
+            SimilarityService(backend=trajcl_backend, index="segment")
+
+    def test_rejects_segment_index_for_other_measures(self):
+        # The segment index answers Hausdorff kNN; composing it with EDR
+        # would silently return neighbours under the wrong measure.
+        with pytest.raises(ValueError, match="wrong measure"):
+            SimilarityService(backend="edr", index="segment")
+
+    def test_default_index_follows_backend_metric(self, trajcl_backend):
+        from repro.api import EmbeddingBackend
+
+        l2_backend = EmbeddingBackend("trajcl", trajcl_backend.model,
+                                      metric="l2")
+        service = SimilarityService(backend=l2_backend)
+        assert service.index.metric == "l2"
+        assert SimilarityService(backend=l2_backend, index="ivf").index.metric == "l2"
+
+
+class TestKnn:
+    def test_exclude_keeps_k_results(self, trajcl_service, trajectories):
+        distances, ids = trajcl_service.knn(trajectories[3], k=3, exclude=3)
+        assert ids.shape == (1, 3)
+        assert 3 not in ids[0]
+        assert (ids[0] >= 0).all()
+        assert np.isfinite(distances).all()
+        assert (np.diff(distances[0]) >= 0).all()
+
+    def test_dedupe_eps_drops_copy_matches(self, trajcl_service, trajectories):
+        # Query is a *copy* of a database member: not excludable by id,
+        # but its zero-distance self-match must not eat a result slot.
+        _, with_exclude = trajcl_service.knn(trajectories[3], k=3, exclude=3)
+        _, with_eps = trajcl_service.knn(trajectories[3].copy(), k=3,
+                                         dedupe_eps=1e-9)
+        np.testing.assert_array_equal(with_exclude, with_eps)
+
+    def test_without_filtering_self_ranks_first(self, trajcl_service,
+                                                trajectories):
+        distances, ids = trajcl_service.knn(trajectories[3], k=3)
+        assert ids[0, 0] == 3
+        assert distances[0, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_small_database_pads(self, trajcl_backend, trajectories):
+        service = SimilarityService(backend=trajcl_backend).add(trajectories[:2])
+        distances, ids = service.knn(trajectories[0], k=5, exclude=0)
+        assert ids.shape == (1, 5)
+        assert (ids[0, 1:] == -1).all()
+        assert np.isinf(distances[0, 1:]).all()
+
+    def test_distance_backend_scan_matches_pairwise(self, trajectories):
+        service = SimilarityService(backend="edr").add(trajectories)
+        matrix = service.pairwise([trajectories[5]])
+        matrix[0, 5] = np.inf
+        _, ids = service.knn(trajectories[5], k=3, exclude=5)
+        np.testing.assert_array_equal(ids[0], np.argsort(matrix[0])[:3])
+
+    def test_segment_index_agrees_with_bruteforce_hausdorff(self, trajectories):
+        indexed = SimilarityService(backend="hausdorff", index="segment")
+        scanned = SimilarityService(backend="hausdorff", index=None)
+        indexed.add(trajectories)
+        scanned.add(trajectories)
+        _, ids_indexed = indexed.knn(trajectories[1], k=3, exclude=1)
+        _, ids_scanned = scanned.knn(trajectories[1], k=3, exclude=1)
+        np.testing.assert_array_equal(ids_indexed, ids_scanned)
+
+    def test_empty_service_raises(self, trajcl_backend):
+        with pytest.raises(RuntimeError, match="empty"):
+            SimilarityService(backend=trajcl_backend).knn(np.zeros((4, 2)), k=1)
+
+
+class TestCache:
+    def test_encode_batch_caches_by_content(self, trajcl_backend, trajectories):
+        service = SimilarityService(backend=trajcl_backend, batch_size=4)
+        first = service.encode_batch(trajectories)
+        misses = service.cache_misses
+        second = service.encode_batch(list(trajectories))
+        np.testing.assert_allclose(first, second)
+        assert service.cache_misses == misses  # all hits the second time
+        assert service.cache_hits >= len(trajectories)
+
+    def test_cache_eviction_bounds_memory(self, trajcl_backend, trajectories):
+        service = SimilarityService(backend=trajcl_backend, cache_size=4)
+        service.encode_batch(trajectories)
+        assert len(service._cache) <= 4
+
+
+class TestSaveLoad:
+    def test_trajcl_roundtrip_knn_identical(self, trajcl_service, trajectories,
+                                            tmp_path):
+        path = str(tmp_path / "service.npz")
+        before_d, before_i = trajcl_service.knn(trajectories[2], k=4, exclude=2)
+        trajcl_service.save(path)
+        restored = SimilarityService.load(path)
+        after_d, after_i = restored.knn(trajectories[2], k=4, exclude=2)
+        np.testing.assert_array_equal(before_i, after_i)
+        np.testing.assert_allclose(before_d, after_d)
+        assert len(restored) == len(trajcl_service)
+
+    def test_heuristic_roundtrip(self, trajectories, tmp_path):
+        path = str(tmp_path / "hausdorff.npz")
+        service = SimilarityService(backend="hausdorff").add(trajectories)
+        before = service.knn(trajectories[0], k=3, exclude=0)
+        service.save(path)
+        restored = SimilarityService.load(path)
+        after = restored.knn(trajectories[0], k=3, exclude=0)
+        np.testing.assert_array_equal(before[1], after[1])
+        np.testing.assert_allclose(before[0], after[0])
+
+    def test_baseline_roundtrip_preserves_embeddings(self, trajectories,
+                                                     tmp_path):
+        path = str(tmp_path / "t2vec.npz")
+        backend = get_backend("t2vec", trajectories=trajectories, dim=8,
+                              max_len=16, epochs=1, seed=0)
+        service = SimilarityService(backend=backend, index="ivf",
+                                    index_kwargs={"seed": 0})
+        service.add(trajectories)
+        before = service.knn(trajectories[4], k=3, exclude=4)
+        service.save(path)
+        restored = SimilarityService.load(path)
+        np.testing.assert_allclose(
+            backend.encode(trajectories[:4]),
+            restored.backend.encode(trajectories[:4]),
+        )
+        after = restored.knn(trajectories[4], k=3, exclude=4)
+        np.testing.assert_array_equal(before[1], after[1])
+
+    def test_roundtrip_preserves_metric(self, trajcl_backend, trajectories,
+                                        tmp_path):
+        from repro.api import EmbeddingBackend
+
+        path = str(tmp_path / "l2.npz")
+        l2_backend = EmbeddingBackend("trajcl", trajcl_backend.model,
+                                      metric="l2")
+        service = SimilarityService(backend=l2_backend).add(trajectories)
+        before = service.knn(trajectories[0], k=3, exclude=0)
+        service.save(path)
+        restored = SimilarityService.load(path)
+        assert restored.backend.metric == "l2"
+        after = restored.knn(trajectories[0], k=3, exclude=0)
+        np.testing.assert_array_equal(before[1], after[1])
+        np.testing.assert_allclose(before[0], after[0])
+
+    def test_load_rejects_wrong_files(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="not a SimilarityService"):
+            SimilarityService.load(path)

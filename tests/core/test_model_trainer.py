@@ -44,6 +44,33 @@ class TestNegativeQueue:
         with pytest.raises(ValueError):
             NegativeQueue(-1, 4)
 
+    @pytest.mark.parametrize("capacity", [1, 3, 7, 16])
+    def test_vectorized_push_matches_per_row_reference(self, capacity):
+        """The wrap-around slice assignment is bit-identical to pushing one
+        row at a time (pointer, size and buffer contents)."""
+
+        def reference_push(queue, vectors):
+            vectors = np.asarray(vectors, dtype=np.float64)
+            norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+            vectors = vectors / np.maximum(norms, 1e-8)
+            for row in vectors:
+                queue._buffer[queue._pointer] = row
+                queue._pointer = (queue._pointer + 1) % queue.capacity
+                queue._size = min(queue._size + 1, queue.capacity)
+
+        rng = np.random.default_rng(0)
+        fast = NegativeQueue(capacity, 4)
+        slow = NegativeQueue(capacity, 4)
+        for _ in range(40):
+            batch = rng.standard_normal(
+                (int(rng.integers(1, 2 * capacity + 3)), 4)
+            )
+            fast.push(batch)
+            reference_push(slow, batch)
+            assert fast._pointer == slow._pointer
+            assert len(fast) == len(slow)
+            np.testing.assert_allclose(fast._buffer, slow._buffer)
+
 
 class TestTrajCLModel:
     def test_dim_mismatch_raises(self, small_setup):

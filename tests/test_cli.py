@@ -33,6 +33,32 @@ class TestTrajectoriesIO:
         for original, restored in zip(trajs, loaded):
             np.testing.assert_allclose(original, restored)
 
+    def test_writes_format_version(self, tmp_path):
+        from repro.cli import TRAJECTORY_FORMAT_VERSION
+
+        path = str(tmp_path / "t.npz")
+        save_trajectories(path, [np.zeros((4, 2))])
+        with np.load(path) as archive:
+            assert int(archive["format_version"]) == TRAJECTORY_FORMAT_VERSION
+
+    def test_accepts_legacy_unversioned_files(self, tmp_path):
+        path = str(tmp_path / "legacy.npz")
+        np.savez(path, count=np.array(1), traj_0=np.ones((3, 2)))
+        loaded = _load_trajectories(path)
+        np.testing.assert_allclose(loaded[0], np.ones((3, 2)))
+
+    def test_unknown_version_is_a_clear_error(self, tmp_path):
+        path = str(tmp_path / "future.npz")
+        np.savez(path, format_version=np.array(999), count=np.array(0))
+        with pytest.raises(ValueError, match="format version 999"):
+            _load_trajectories(path)
+
+    def test_non_dataset_file_is_a_clear_error(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(ValueError, match="not a trajectory dataset"):
+            _load_trajectories(path)
+
 
 class TestParser:
     def test_requires_command(self):
@@ -93,3 +119,63 @@ class TestTrainEncodeEvaluateKnn:
         out = capsys.readouterr().out
         assert "3NN of trajectory 2" in out
         assert "#3:" in out
+
+
+class TestBackendsCommand:
+    def test_lists_all_backends(self, capsys):
+        from repro.api import available_backends
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in available_backends():
+            assert name in out
+
+    def test_evaluate_with_heuristic_backend(self, dataset_path, capsys):
+        assert main(["evaluate", "--data", dataset_path,
+                     "--backend", "hausdorff",
+                     "--queries", "4", "--database", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "hausdorff" in out and "mean rank" in out
+
+    def test_evaluate_trajcl_requires_checkpoint(self, dataset_path):
+        with pytest.raises(SystemExit, match="needs --checkpoint"):
+            main(["evaluate", "--data", dataset_path, "--backend", "trajcl"])
+
+    def test_knn_with_heuristic_backend(self, dataset_path, capsys):
+        assert main(["knn", "--data", dataset_path, "--backend", "hausdorff",
+                     "--query", "1", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "backend hausdorff" in out
+        assert "#2:" in out
+
+    def test_knn_never_returns_self_or_short_results(self, checkpoint_path,
+                                                     dataset_path, capsys):
+        import re
+
+        assert main(["knn", "--checkpoint", checkpoint_path,
+                     "--data", dataset_path, "--query", "0", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        # the query itself never appears among the results...
+        assert re.search(r"#\d+: trajectory 0 \(", out) is None
+        assert "#4:" in out  # ...and the result is still k long
+
+    def test_knn_matches_similarity_service(self, checkpoint_path,
+                                            dataset_path, capsys):
+        """Acceptance: the CLI and the service return identical neighbours."""
+        import re
+
+        from repro.api import SimilarityService
+        from repro.cli import _load_trajectories as load
+
+        assert main(["knn", "--checkpoint", checkpoint_path,
+                     "--data", dataset_path, "--query", "2", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        cli_ids = [int(m) for m in re.findall(r"#\d+: trajectory (\d+) \(", out)]
+
+        database = load(dataset_path)
+        service = SimilarityService(
+            backend="trajcl", backend_kwargs={"checkpoint": checkpoint_path}
+        )
+        service.add(database)
+        _, ids = service.knn(database[2], k=3, exclude=2)
+        assert cli_ids == ids[0].tolist()

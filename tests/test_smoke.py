@@ -1,0 +1,38 @@
+"""End-to-end CLI smoke: generate → train → evaluate → knn on a tiny
+dataset. Marked ``smoke`` so `make smoke` runs just this path (< 1 min)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.mark.parametrize("city", ["porto"])
+def test_cli_pipeline_end_to_end(tmp_path, capsys, city):
+    data = str(tmp_path / "city.npz")
+    checkpoint = str(tmp_path / "model.npz")
+    embeddings = str(tmp_path / "emb.npy")
+
+    assert main(["generate", "--city", city, "--count", "30",
+                 "--seed", "0", "--output", data]) == 0
+    assert main(["train", "--city", city, "--count", "40", "--epochs", "1",
+                 "--seed", "0", "--output", checkpoint]) == 0
+    assert main(["encode", "--checkpoint", checkpoint, "--data", data,
+                 "--output", embeddings]) == 0
+    assert np.load(embeddings).shape[0] == 30
+
+    assert main(["evaluate", "--checkpoint", checkpoint, "--data", data,
+                 "--backend", "trajcl", "--queries", "4",
+                 "--database", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "TrajCL" in out and "mean rank" in out
+
+    assert main(["knn", "--checkpoint", checkpoint, "--data", data,
+                 "--backend", "trajcl", "--query", "1", "--k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3NN of trajectory 1" in out and "#3:" in out
+
+    assert main(["backends"]) == 0
+    assert "trajcl" in capsys.readouterr().out
