@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench
+.PHONY: test smoke bench serve-bench
 
 # Tier-1 suite (the repo's verification gate).
 test:
@@ -15,3 +15,8 @@ smoke:
 # Paper-table benchmark harnesses (slow; needs pytest-benchmark).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Serving-layer throughput sweep (queries/sec at 1/2/4 workers, batched vs
+# unbatched) recorded for the perf trajectory across PRs.
+serve-bench:
+	$(PYTHON) -m repro serve-bench --output benchmarks/results/BENCH_serving.json

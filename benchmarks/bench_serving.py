@@ -1,0 +1,39 @@
+"""Serving-layer throughput — queries/sec by worker count and batching mode.
+
+Runs the ``serve-bench`` CLI sweep (the same path ``make serve-bench``
+uses) at a reduced scale and records ``BENCH_serving.json`` so later PRs
+have a perf trajectory for the sharded + batched serving stack.
+"""
+
+import json
+
+from repro.cli import main
+
+from benchmarks.common import RESULTS_DIR, SEED, save_result
+
+
+def test_serving_throughput(benchmark):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_serving.json"
+
+    def run():
+        assert main([
+            "serve-bench",
+            "--count", "120", "--queries", "16", "--k", "5",
+            "--workers", "1,2,4", "--repeats", "2",
+            "--seed", str(SEED),
+            "--output", str(out),
+        ]) == 0
+        return json.loads(out.read_text())
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[r["workers"], r["unbatched_qps"], r["batched_qps"],
+             r["batches"], r["largest_batch"]] for r in payload["results"]]
+    assert len(rows) == 3
+    for row in rows:
+        assert row[1] > 0 and row[2] > 0
+    save_result(
+        "BENCH_serving",
+        json.dumps(payload, indent=2),
+    )

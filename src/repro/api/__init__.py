@@ -21,6 +21,11 @@ Backends come in two kinds: ``"embedding"`` (``encode(trajectories) ->
 The :class:`SimilarityService` composes a backend with a pluggable kNN
 index (``"bruteforce"``, ``"ivf"``, ``"segment"``), chunks and caches
 embeddings, and snapshots config + weights + index state to one ``.npz``.
+
+For serving at scale, :mod:`repro.api.serving` shards the database across
+worker processes (:class:`ShardedSimilarityService`) and batches concurrent
+queries (:class:`QueryQueue`); see that module's docstring for the
+composition example.
 """
 
 from .protocols import (
@@ -28,6 +33,7 @@ from .protocols import (
     EMBEDDING,
     EmbeddingBackend,
     Index,
+    KnnService,
     MeasureBackend,
     SimilarityBackend,
     as_backend,
@@ -49,7 +55,8 @@ from .indexes import (
     get_index,
     register_index,
 )
-from .service import SimilarityService
+from .service import CacheInfo, SimilarityService
+from .serving import QueryQueue, QueueStats, ShardedSimilarityService
 
 __all__ = [
     "EMBEDDING",
@@ -58,6 +65,7 @@ __all__ = [
     "EmbeddingBackend",
     "MeasureBackend",
     "Index",
+    "KnnService",
     "as_backend",
     "BackendSpec",
     "register_backend",
@@ -72,5 +80,9 @@ __all__ = [
     "BruteForceBackendIndex",
     "IVFBackendIndex",
     "SegmentBackendIndex",
+    "CacheInfo",
     "SimilarityService",
+    "ShardedSimilarityService",
+    "QueryQueue",
+    "QueueStats",
 ]

@@ -9,7 +9,10 @@ composes with the ``"hausdorff"`` distance backend.
 The IVF adapter hides the train-before-add dance of the raw
 :class:`~repro.index.ivf.IVFFlatIndex`: vectors accumulate in a buffer and
 the coarse quantizer is (re)trained lazily on first search, with ``n_lists``
-clamped to what the data supports.
+clamped to what the data supports. Updates are incremental: once trained,
+appended vectors are assigned to the existing centroids, and k-means only
+re-runs when the database has grown ``retrain_factor``× past the size it
+was last trained on.
 """
 
 from __future__ import annotations
@@ -107,7 +110,15 @@ class BruteForceBackendIndex(Index):
 
 @register_index("ivf")
 class IVFBackendIndex(Index):
-    """IVFFlat (Voronoi inverted lists) with lazy, auto-sized training."""
+    """IVFFlat (Voronoi inverted lists) with lazy training and incremental add.
+
+    The quantizer trains on the first search. Later :meth:`add` calls assign
+    the new vectors to the *existing* centroids — no k-means re-run — until
+    the database has grown ``retrain_factor``× beyond the size it was last
+    trained on, at which point the next search re-trains with ``n_lists``
+    re-clamped to the new size. ``train_count`` records how many k-means
+    runs have happened.
+    """
 
     name = "ivf"
     consumes = "vectors"
@@ -118,11 +129,17 @@ class IVFBackendIndex(Index):
         n_probe: int = 4,
         metric: str = "l1",
         seed: int = 0,
+        retrain_factor: float = 2.0,
     ):
+        if retrain_factor < 1.0:
+            raise ValueError("retrain_factor must be >= 1")
         self.n_lists = n_lists
         self.n_probe = n_probe
         self.metric = metric
         self.seed = seed
+        self.retrain_factor = retrain_factor
+        self.train_count = 0
+        self._trained_size = 0
         self._vectors = np.empty((0, 0))
         self._inner: Optional[IVFFlatIndex] = None
 
@@ -132,7 +149,12 @@ class IVFBackendIndex(Index):
             self._vectors = vectors.copy()
         else:
             self._vectors = np.concatenate([self._vectors, vectors], axis=0)
-        self._inner = None  # rebuilt lazily with the new contents
+        if self._inner is None:
+            return  # quantizer trains lazily on the next search
+        if len(self._vectors) > self.retrain_factor * self._trained_size:
+            self._inner = None  # grown too far past the trained quantizer
+        else:
+            self._inner.add(vectors)  # assign to the existing centroids
 
     def _build(self) -> IVFFlatIndex:
         if self._inner is None:
@@ -146,6 +168,8 @@ class IVFBackendIndex(Index):
             inner.train(self._vectors, rng=np.random.default_rng(self.seed))
             inner.add(self._vectors)
             self._inner = inner
+            self._trained_size = len(self._vectors)
+            self.train_count += 1
         return self._inner
 
     def search(self, queries, k: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -165,13 +189,15 @@ class IVFBackendIndex(Index):
         meta = {
             "type": self.name, "metric": self.metric, "n_lists": self.n_lists,
             "n_probe": self.n_probe, "seed": self.seed,
+            "retrain_factor": self.retrain_factor,
         }
         return meta, {"vectors": self._vectors}
 
     @classmethod
     def restore(cls, meta, arrays) -> "IVFBackendIndex":
         index = cls(n_lists=meta["n_lists"], n_probe=meta["n_probe"],
-                    metric=meta["metric"], seed=meta["seed"])
+                    metric=meta["metric"], seed=meta["seed"],
+                    retrain_factor=meta.get("retrain_factor", 2.0))
         if "vectors" in arrays and len(arrays["vectors"]):
             index.add(arrays["vectors"])
         return index

@@ -20,7 +20,7 @@ and segment indexes behind one interface.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -208,6 +208,26 @@ class _MatrixBackend(SimilarityBackend):
 
     def pairwise(self, queries, database) -> np.ndarray:
         return self._matrix(queries, database)
+
+
+@runtime_checkable
+class KnnService(Protocol):
+    """Anything that answers batched kNN with the service's signature.
+
+    Both :class:`~repro.api.service.SimilarityService` and
+    :class:`~repro.api.serving.ShardedSimilarityService` satisfy it, so the
+    serving-layer wrappers (:class:`~repro.api.serving.QueryQueue`) compose
+    with either interchangeably.
+    """
+
+    def knn(
+        self,
+        queries: Sequence[TrajectoryLike],
+        k: int,
+        exclude: Optional[int] = None,
+        dedupe_eps: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ...
 
 
 class Index(ABC):

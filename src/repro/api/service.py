@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from collections import OrderedDict
+from collections import OrderedDict, namedtuple
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -34,13 +34,17 @@ from .indexes import get_index
 from .protocols import DISTANCE, EMBEDDING, Index, SimilarityBackend, as_backend
 from .registry import get_backend
 
-__all__ = ["SimilarityService"]
+__all__ = ["CacheInfo", "SimilarityService"]
 
 _FORMAT_VERSION = 1
 _META_KEY = "__service__"
 _BACKEND_PREFIX = "backend/"
 _INDEX_PREFIX = "index/"
 _TRAJ_PREFIX = "traj_"
+_CACHE_VECTORS_KEY = "cache/vectors"
+
+#: ``functools.lru_cache``-style counters for the embedding cache.
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "size", "maxsize"])
 
 
 def _default_index_for(backend: SimilarityBackend) -> Optional[str]:
@@ -163,13 +167,30 @@ class SimilarityService:
                 vector = np.asarray(encoded[row], dtype=np.float64)
                 out[position] = vector
                 self._cache_put(keys[position], vector)
-        return np.stack(out) if out else np.empty((0, 0))
+        return np.stack(out) if out else np.empty((0, self._embedding_dim()))
+
+    def _embedding_dim(self) -> int:
+        """Best-known embedding dimensionality (0 when undeterminable)."""
+        dim = self.backend.output_dim
+        if isinstance(dim, int) and dim > 0:
+            return dim
+        if self._cache:
+            return len(next(iter(self._cache.values())))
+        return 0
 
     @staticmethod
     def _cache_key(points: np.ndarray) -> str:
         digest = hashlib.sha1(np.ascontiguousarray(points).tobytes())
+        # Shape and dtype both feed the hash: byte-identical buffers of a
+        # different shape *or* dtype must never collide.
         digest.update(str(points.shape).encode())
+        digest.update(str(points.dtype).encode())
         return digest.hexdigest()
+
+    def cache_info(self) -> CacheInfo:
+        """Embedding-cache counters: ``(hits, misses, size, maxsize)``."""
+        return CacheInfo(self.cache_hits, self.cache_misses,
+                         len(self._cache), self.cache_size)
 
     def _cache_put(self, key: str, vector: np.ndarray) -> None:
         if self.cache_size <= 0:
@@ -191,6 +212,10 @@ class SimilarityService:
         queries = self._as_batch(queries)
         if database is None:
             database = self.trajectories
+        if len(queries) == 0 or len(database) == 0:
+            # Well-shaped empties: distance backends iterate pairs and would
+            # otherwise hand shapeless results to downstream reshapes.
+            return np.zeros((len(queries), len(database)))
         if self.backend.kind == EMBEDDING and database is self.trajectories:
             # Route through the embedding cache for the stored database.
             # ``scale`` keeps parity with backends whose distances live on a
@@ -229,6 +254,8 @@ class SimilarityService:
         if k < 1:
             raise ValueError("k must be >= 1")
         queries = [as_points(t) for t in self._as_batch(queries)]
+        if not queries:
+            return (np.empty((0, k)), np.empty((0, k), dtype=np.int64))
         n = len(self.trajectories)
         dropped = (1 if exclude is not None else 0)
         fetch = min(n, k + dropped + (1 if dedupe_eps is not None else 0))
@@ -268,16 +295,23 @@ class SimilarityService:
             return self.index.search(queries, fetch)
         # Scan path: the full matrix is computed anyway, so return the
         # complete ranking — the over-fetch loop then never re-scans.
+        # Stable sort breaks equal-distance ties by database id, matching
+        # the vector-index paths.
         matrix = self.pairwise(queries)
-        indices = np.argsort(matrix, axis=1)
+        indices = np.argsort(matrix, axis=1, kind="stable")
         rows = np.arange(len(queries))[:, None]
         return matrix[rows, indices], indices.astype(np.int64)
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str) -> None:
-        """One ``.npz`` snapshot: backend config+weights, index state, data."""
+    def save(self, path: str, include_cache: bool = False) -> None:
+        """One ``.npz`` snapshot: backend config+weights, index state, data.
+
+        ``include_cache=True`` additionally persists the embedding cache
+        (keys + vectors, in LRU order) so a restored service answers its
+        first queries warm instead of re-running the encoder.
+        """
         backend_meta, backend_arrays = backend_state(self.backend)
         index_meta: Optional[Dict] = None
         payload: Dict[str, np.ndarray] = {}
@@ -293,6 +327,11 @@ class SimilarityService:
             "cache_size": self.cache_size,
             "count": len(self.trajectories),
         }
+        if include_cache and self._cache:
+            # Keys in LRU order (oldest first) so the restored OrderedDict
+            # evicts in the same order the live one would have.
+            meta["cache_keys"] = list(self._cache)
+            payload[_CACHE_VECTORS_KEY] = np.stack(list(self._cache.values()))
         payload[_META_KEY] = np.frombuffer(
             json.dumps(meta).encode("utf-8"), dtype=np.uint8
         )
@@ -337,6 +376,10 @@ class SimilarityService:
         ]
         if index is not None and index.consumes == "trajectories" and not len(index):
             index.add(service.trajectories)
+        if meta.get("cache_keys") and _CACHE_VECTORS_KEY in state:
+            vectors = state[_CACHE_VECTORS_KEY]
+            for key, vector in zip(meta["cache_keys"], vectors):
+                service._cache_put(key, vector)
         return service
 
     def __repr__(self) -> str:

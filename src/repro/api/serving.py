@@ -1,0 +1,577 @@
+"""The concurrent serving layer: sharded kNN workers and a query batcher.
+
+Two compositions turn the single-process :class:`SimilarityService` into
+the scalable serving path the ROADMAP calls for:
+
+* :class:`ShardedSimilarityService` — partitions the database across N
+  worker *processes* (each holding a full ``SimilarityService`` with its
+  own index shard), fans ``add``/``knn``/``pairwise`` out over pipes, and
+  merges per-shard top-k with distance-then-id tie-breaking. For exact
+  indexes the merged result is identical to a single service over the
+  same database;
+* :class:`QueryQueue` — coalesces many concurrent ``knn`` calls into
+  batched service calls (up to ``max_batch`` queries per flush, waiting at
+  most ``max_wait`` seconds for stragglers), so heavy traffic amortizes
+  encoder cost instead of paying per-call overhead. Callers get
+  :class:`concurrent.futures.Future` results, or block via :meth:`knn`.
+
+Both compose: put a ``QueryQueue`` in front of a
+``ShardedSimilarityService`` for batched, sharded serving::
+
+    from repro.api import ShardedSimilarityService, QueryQueue
+
+    with ShardedSimilarityService(backend=backend, num_workers=4) as shards:
+        shards.add(database)
+        with QueryQueue(shards, max_batch=64, max_wait=0.005) as queue:
+            futures = [queue.submit(q, k=10) for q in queries]
+            results = [f.result() for f in futures]
+
+Backends travel to the workers through ``backend_state``/``restore_backend``
+(the same representation snapshots use), so every registry backend that can
+be saved can be sharded.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import traceback
+from collections import deque, namedtuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..trajectory import as_points
+from ..trajectory.trajectory import TrajectoryLike
+from .backends import backend_state, restore_backend
+from .protocols import KnnService, SimilarityBackend, as_backend
+from .registry import get_backend
+from .service import SimilarityService, _default_index_for
+
+#: one batch-normalization rule shared with the single-process service —
+#: the two must never disagree on what counts as one trajectory
+_as_batch = SimilarityService._as_batch
+
+__all__ = ["ShardedSimilarityService", "QueryQueue", "QueueStats"]
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _shard_worker(conn, backend_meta, backend_arrays, index, index_kwargs,
+                  service_kwargs) -> None:
+    """One shard: a full ``SimilarityService`` over a slice of the database.
+
+    Runs in a child process; speaks ``(command, payload)`` tuples over the
+    pipe and answers ``("ok", result)`` or ``("error", traceback)``.
+    """
+    try:
+        backend = restore_backend(backend_meta, backend_arrays)
+        service = SimilarityService(backend=backend, index=index,
+                                    index_kwargs=index_kwargs,
+                                    **service_kwargs)
+        conn.send(("ok", None))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if command == "stop":
+            conn.send(("ok", None))
+            break
+        try:
+            if command == "add":
+                service.add(payload)
+                result = len(service)
+            elif command == "knn":
+                queries, fetch = payload
+                if len(service) == 0:
+                    # This shard got no data (database smaller than the
+                    # worker count); contribute an all-padding pool.
+                    result = (np.full((len(queries), fetch), np.inf),
+                              np.full((len(queries), fetch), -1,
+                                      dtype=np.int64))
+                else:
+                    # No exclude/dedupe here: the parent filters after the
+                    # merge, where global ids are known.
+                    result = service.knn(queries, k=fetch)
+            elif command == "pairwise":
+                result = service.pairwise(payload)
+            elif command == "len":
+                result = len(service)
+            else:
+                raise ValueError(f"unknown shard command {command!r}")
+            conn.send(("ok", result))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+
+
+class ShardedSimilarityService:
+    """kNN serving over a database partitioned across worker processes.
+
+    Trajectories are assigned round-robin to ``num_workers`` shards, each a
+    :class:`~repro.api.service.SimilarityService` in its own process (the
+    backend is shipped once via ``backend_state``). ``knn`` fans the query
+    batch out, over-fetches per shard, and merges the candidate pools with
+    distance-then-id tie-breaking — so with exact per-shard indexes
+    (``bruteforce``/``segment``/scan) the merged result is *identical* to a
+    single service over the unsharded database, and with IVF shards the
+    union of probed cells can only grow recall.
+
+    The parent keeps its own backend instance for ``pairwise`` against
+    ad-hoc databases and for metadata; worker lifecycle is explicit:
+    :meth:`close`, or use the service as a context manager.
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, SimilarityBackend, object] = "trajcl",
+        index: Optional[str] = None,
+        *,
+        num_workers: int = 2,
+        backend_kwargs: Optional[Dict] = None,
+        index_kwargs: Optional[Dict] = None,
+        batch_size: int = 256,
+        cache_size: int = 4096,
+        start_method: Optional[str] = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if index is not None and not isinstance(index, str):
+            raise TypeError(
+                "sharded services build one index per worker; pass the "
+                "index by name (or None for the backend's default)"
+            )
+        if isinstance(backend, str):
+            backend = get_backend(backend, **(backend_kwargs or {}))
+        else:
+            backend = as_backend(backend)
+        self.backend = backend
+        if index is None:
+            # Resolve the backend's default here so the name is reportable
+            # and the workers build exactly what a single service would.
+            index = _default_index_for(backend)
+        self.index_name = index
+        # IVF shards answer approximately (probed cells only); the merge
+        # certificate below is only meaningful over exact shard indexes.
+        self._exact_shards = index != "ivf"
+        self.num_workers = int(num_workers)
+        self._shard_ids: List[List[int]] = [[] for _ in range(self.num_workers)]
+        self._size = 0
+        self._closed = False
+
+        meta, arrays = backend_state(backend)  # process-portable form
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        context = mp.get_context(start_method)
+        self._connections = []
+        self._processes = []
+        service_kwargs = {"batch_size": batch_size, "cache_size": cache_size}
+        for _ in range(self.num_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker,
+                args=(child_conn, meta, arrays, index, index_kwargs,
+                      service_kwargs),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        for conn in self._connections:
+            self._receive(conn)  # surface construction errors eagerly
+
+    # ------------------------------------------------------------------
+    # Worker RPC
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _receive(conn):
+        status, result = conn.recv()
+        if status != "ok":
+            raise RuntimeError(f"shard worker failed:\n{result}")
+        return result
+
+    def _broadcast(self, command, payloads):
+        """Send one command per shard, then gather (keeps shards busy
+        concurrently rather than round-tripping one at a time).
+
+        Every reply is read before any error is raised — leaving a reply
+        buffered in a pipe would desynchronize the RPC for all later
+        commands on that shard.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        for conn, payload in zip(self._connections, payloads):
+            conn.send((command, payload))
+        replies = [conn.recv() for conn in self._connections]
+        failures = [result for status, result in replies if status != "ok"]
+        if failures:
+            raise RuntimeError("shard worker failed:\n" + "\n".join(failures))
+        return [result for _, result in replies]
+
+    # ------------------------------------------------------------------
+    # Database
+    # ------------------------------------------------------------------
+    def add(self, trajectories: Sequence[TrajectoryLike]) -> "ShardedSimilarityService":
+        """Round-robin the trajectories across the shards."""
+        batch = [as_points(t) for t in _as_batch(trajectories)]
+        if not batch:
+            return self
+        chunks: List[List[np.ndarray]] = [[] for _ in range(self.num_workers)]
+        pending: List[List[int]] = [[] for _ in range(self.num_workers)]
+        for offset, points in enumerate(batch):
+            global_id = self._size + offset
+            shard = global_id % self.num_workers
+            chunks[shard].append(points)
+            pending[shard].append(global_id)
+        try:
+            self._broadcast("add", chunks)
+        except Exception:
+            # Some shards may have stored their chunk, others not; the
+            # local-to-global mapping can no longer be trusted, so refuse
+            # further use rather than misattribute neighbour ids.
+            self.close()
+            raise
+        # Commit the id bookkeeping only once every shard stored its chunk.
+        for shard, ids in enumerate(pending):
+            self._shard_ids[shard].extend(ids)
+        self._size += len(batch)
+        return self
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def shard_sizes(self) -> List[int]:
+        """Number of database trajectories held by each worker."""
+        return [len(ids) for ids in self._shard_ids]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pairwise(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Optional[Sequence[TrajectoryLike]] = None,
+    ) -> np.ndarray:
+        """Dense ``(|Q|, |D|)`` distances; D defaults to the sharded database."""
+        queries = _as_batch(queries)
+        if database is not None:
+            return self.backend.pairwise(queries, database)
+        out = np.zeros((len(queries), self._size))
+        if not queries or self._size == 0:
+            return out
+        blocks = self._broadcast("pairwise",
+                                 [queries] * self.num_workers)
+        for shard, block in enumerate(blocks):
+            ids = self._shard_ids[shard]
+            if ids:
+                out[:, ids] = block
+        return out
+
+    distance_matrix = pairwise
+
+    def knn(
+        self,
+        queries: Sequence[TrajectoryLike],
+        k: int,
+        exclude: Optional[int] = None,
+        dedupe_eps: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merged ``k`` nearest global ids per query: ``(distances, indices)``.
+
+        Same contract as :meth:`SimilarityService.knn` — ``exclude`` and
+        ``dedupe_eps`` filter without shrinking the result below ``k``; rows
+        pad with ``inf``/``-1`` only when the database is too small.
+        """
+        if self._size == 0:
+            raise RuntimeError("service database is empty; call add() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = [as_points(t) for t in _as_batch(queries)]
+        if not queries:
+            return (np.empty((0, k)), np.empty((0, k), dtype=np.int64))
+        largest_shard = max(self.shard_sizes)
+        dropped = (1 if exclude is not None else 0)
+        fetch = min(largest_shard,
+                    k + dropped + (1 if dedupe_eps is not None else 0))
+        while True:
+            pool_d, pool_i, frontiers = self._fetch_candidates(queries, fetch)
+            out_d = np.full((len(queries), k), np.inf)
+            out_i = np.full((len(queries), k), -1, dtype=np.int64)
+            short = False
+            for row in range(len(queries)):
+                row_d, row_i = pool_d[row], pool_i[row]
+                keep = row_i >= 0
+                if exclude is not None:
+                    keep &= row_i != exclude
+                if dedupe_eps is not None:
+                    keep &= row_d > dedupe_eps
+                row_d, row_i = row_d[keep], row_i[keep]
+                # Global merge order: distance first, database id on ties —
+                # exactly the single-service ranking.
+                order = np.lexsort((row_i, row_d))[:k]
+                if fetch < largest_shard and (
+                    len(order) < k
+                    or (self._exact_shards and not self._frontiers_cover(
+                        frontiers, row, fetch,
+                        row_d[order[-1]], row_i[order[-1]],
+                    ))
+                ):
+                    short = True
+                    break
+                out_d[row, :len(order)] = row_d[order]
+                out_i[row, :len(order)] = row_i[order]
+            if short:
+                fetch = min(largest_shard, max(fetch * 2, k + 1))
+                continue
+            return out_d, out_i
+
+    def _frontiers_cover(self, frontiers, row, fetch, kth_d, kth_i) -> bool:
+        """True when no shard can still hold a better-than-kth candidate.
+
+        A shard's unreturned candidates all rank (by distance, then id)
+        after the last candidate it did return — its *frontier*. The merged
+        top-k is final once every non-exhausted shard's frontier ranks at
+        or after the k-th selected result; otherwise a deeper fetch into
+        that shard could still improve the answer (e.g. when ``dedupe_eps``
+        filtered away a shard's entire contribution).
+        """
+        for shard, (frontier_d, frontier_i) in enumerate(frontiers):
+            if len(self._shard_ids[shard]) <= fetch:
+                continue  # shard fully fetched; nothing deeper exists
+            w_d, w_i = frontier_d[row], frontier_i[row]
+            if w_d < kth_d or (w_d == kth_d and w_i < kth_i):
+                return False
+        return True
+
+    def _fetch_candidates(self, queries, fetch):
+        """Per-shard top-``fetch`` pools with ids mapped to global space.
+
+        Returns the concatenated ``(distances, global_ids)`` pools plus each
+        shard's per-row frontier (the last — worst — candidate it returned),
+        which :meth:`_frontiers_cover` uses to certify the merge.
+        """
+        results = self._broadcast("knn", [(queries, fetch)] * self.num_workers)
+        pool_d, pool_i, frontiers = [], [], []
+        for shard, (distances, locals_) in enumerate(results):
+            ids = np.asarray(self._shard_ids[shard], dtype=np.int64)
+            if len(ids):
+                globals_ = np.where(locals_ >= 0, ids[np.clip(locals_, 0, None)], -1)
+            else:
+                globals_ = np.full_like(locals_, -1)
+            pool_d.append(distances)
+            pool_i.append(globals_)
+            valid_counts = (globals_ >= 0).sum(axis=1)
+            last = np.clip(valid_counts - 1, 0, None)
+            rows = np.arange(len(globals_))
+            frontier_d = np.where(valid_counts > 0, distances[rows, last], np.inf)
+            frontier_i = np.where(valid_counts > 0, globals_[rows, last], -1)
+            frontiers.append((frontier_d, frontier_i))
+        return (np.concatenate(pool_d, axis=1),
+                np.concatenate(pool_i, axis=1), frontiers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._connections:
+            try:
+                if conn.poll(1.0):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+
+    def __enter__(self) -> "ShardedSimilarityService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSimilarityService(backend={self.backend.name!r}, "
+            f"index={self.index_name!r}, workers={self.num_workers}, "
+            f"size={self._size})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Query batching
+# ----------------------------------------------------------------------
+QueueStats = namedtuple("QueueStats", ["queries", "batches", "largest_batch"])
+
+
+class QueryQueue:
+    """Coalesces concurrent single-query ``knn`` calls into batched ones.
+
+    Callers :meth:`submit` one query each (from any thread) and get a
+    :class:`~concurrent.futures.Future` resolving to ``(distances, ids)``
+     1-D arrays of length ``k``. A single flush thread drains the queue:
+    it collects up to ``max_batch`` pending queries, waiting at most
+    ``max_wait`` seconds for more to arrive, groups them by identical
+    ``(k, exclude, dedupe_eps)`` and issues one service ``knn`` per group —
+    so a burst of users pays one chunked encoder pass instead of N.
+
+    Only the flush thread touches the underlying service, which keeps the
+    (thread-oblivious) :class:`SimilarityService` safe under concurrency.
+    """
+
+    def __init__(self, service: KnnService, max_batch: int = 64,
+                 max_wait: float = 0.01):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._pending: deque = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        self._queries = 0
+        self._batches = 0
+        self._largest_batch = 0
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-query-queue")
+        self._thread.start()
+
+    def submit(self, query: TrajectoryLike, k: int,
+               exclude: Optional[int] = None,
+               dedupe_eps: Optional[float] = None):
+        """Enqueue one query; returns a Future of ``(distances, ids)``."""
+        from concurrent.futures import Future
+
+        points = as_points(query)
+        future = Future()
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._pending.append((future, points, k, exclude, dedupe_eps))
+            self._condition.notify_all()
+        return future
+
+    def knn(self, query: TrajectoryLike, k: int,
+            exclude: Optional[int] = None,
+            dedupe_eps: Optional[float] = None,
+            timeout: Optional[float] = None):
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(query, k, exclude, dedupe_eps).result(timeout)
+
+    @property
+    def stats(self) -> QueueStats:
+        """``(queries, batches, largest_batch)`` served so far."""
+        with self._condition:
+            return QueueStats(self._queries, self._batches,
+                              self._largest_batch)
+
+    # ------------------------------------------------------------------
+    # Flush thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                while not self._pending and not self._closed:
+                    self._condition.wait()
+                if not self._pending and self._closed:
+                    return
+                if not self._closed:
+                    # Batching window: give concurrent callers max_wait
+                    # seconds to pile on before flushing.
+                    deadline = time.monotonic() + self.max_wait
+                    while len(self._pending) < self.max_batch:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or self._closed:
+                            break
+                        self._condition.wait(remaining)
+                batch = [self._pending.popleft()
+                         for _ in range(min(len(self._pending),
+                                            self.max_batch))]
+            self._flush(batch)
+
+    def _flush(self, batch) -> None:
+        from concurrent.futures import InvalidStateError
+
+        groups: "Dict[Tuple, List]" = {}
+        for item in batch:
+            future, points, k, exclude, dedupe_eps = item
+            if not future.set_running_or_notify_cancel():
+                continue  # the caller cancelled while the query was pending
+            groups.setdefault((k, exclude, dedupe_eps), []).append(
+                (future, points)
+            )
+        for (k, exclude, dedupe_eps), members in groups.items():
+            futures = [future for future, _ in members]
+            queries = [points for _, points in members]
+            try:
+                distances, indices = self.service.knn(
+                    queries, k=k, exclude=exclude, dedupe_eps=dedupe_eps
+                )
+            except Exception as error:  # propagate to every caller
+                for future in futures:
+                    try:
+                        future.set_exception(error)
+                    except InvalidStateError:
+                        pass
+                continue
+            with self._condition:
+                self._queries += len(members)
+                self._batches += 1
+                self._largest_batch = max(self._largest_batch, len(members))
+            for row, future in enumerate(futures):
+                try:
+                    future.set_result((distances[row], indices[row]))
+                except InvalidStateError:
+                    pass  # must never kill the flush thread
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new queries, drain the pending ones, stop the thread."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            self._condition.notify_all()
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "QueryQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"QueryQueue(max_batch={self.max_batch}, "
+            f"max_wait={self.max_wait}, served={stats.queries} in "
+            f"{stats.batches} batches)"
+        )

@@ -11,7 +11,10 @@ Exposes the library's main workflows without writing code:
 * ``evaluate``  — mean-rank evaluation of any registered backend under the
   paper's §V-B protocol;
 * ``knn``       — k-nearest-neighbour queries through the
-  :class:`repro.api.SimilarityService`.
+  :class:`repro.api.SimilarityService` (``--workers`` shards the database
+  across processes, ``--batch-wait`` routes through the query batcher);
+* ``serve-bench`` — serving-throughput sweep (queries/sec by worker count,
+  batched vs unbatched) written to a JSON record.
 
 Every similarity method is resolved by name through :mod:`repro.api`;
 ``evaluate`` and ``knn`` accept ``--backend`` with any name from
@@ -181,7 +184,7 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_knn(args) -> int:
-    from .api import SimilarityService
+    from .api import QueryQueue, ShardedSimilarityService, SimilarityService
 
     database = _load_trajectories(args.data)
     backend = _resolve_backend(args.backend, args, database)
@@ -196,25 +199,135 @@ def cmd_knn(args) -> int:
     elif args.index != "auto":
         index = args.index
 
-    service = SimilarityService(backend=backend, index=index,
-                                index_kwargs=index_kwargs)
-    service.add(database)
+    if args.workers > 1:
+        service = ShardedSimilarityService(
+            backend=backend, index=index, num_workers=args.workers,
+            index_kwargs=index_kwargs,
+        )
+        index_label = service.index_name or "scan"
+    else:
+        service = SimilarityService(backend=backend, index=index,
+                                    index_kwargs=index_kwargs)
+        # ``is not None``: an Index defines __len__, so an empty one is falsy.
+        index_label = service.index.name if service.index is not None else "scan"
+    try:
+        service.add(database)
 
-    # The query is a database member: exclude its own id so the result is
-    # k true neighbours (not k-1, and never the query itself).
-    distances, neighbors = service.knn(
-        database[args.query], k=args.k, exclude=args.query,
-    )
+        # The query is a database member: exclude its own id so the result
+        # is k true neighbours (not k-1, and never the query itself).
+        if args.batch_wait > 0:
+            with QueryQueue(service, max_wait=args.batch_wait) as queue:
+                row_d, row_i = queue.knn(
+                    database[args.query], k=args.k, exclude=args.query,
+                )
+            distances, neighbors = row_d[None, :], row_i[None, :]
+        else:
+            distances, neighbors = service.knn(
+                database[args.query], k=args.k, exclude=args.query,
+            )
+    finally:
+        if args.workers > 1:
+            service.close()
     unit = "L1 distance" if backend.kind == "embedding" else f"{backend.name} distance"
+    workers_label = f", workers {args.workers}" if args.workers > 1 else ""
     print(f"{args.k}NN of trajectory {args.query} "
-          f"(backend {backend.name}, index "
-          f"{service.index.name if service.index else 'scan'}):")
+          f"(backend {backend.name}, index {index_label}{workers_label}):")
     shown = 0
     for distance, neighbor in zip(distances[0], neighbors[0]):
         if neighbor < 0:
             break  # database smaller than k
         shown += 1
         print(f"  #{shown}: trajectory {neighbor} ({unit} {distance:.3f})")
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    """Serving-throughput benchmark: queries/sec by worker count and mode."""
+    import json
+
+    from .api import (
+        QueryQueue, ShardedSimilarityService, SimilarityService, get_backend,
+    )
+    from .eval import format_table
+
+    if args.data:
+        database = _load_trajectories(args.data)
+    else:
+        from .datasets import generate_city, get_preset
+
+        database = generate_city(get_preset(args.city), args.count,
+                                 seed=args.seed)
+    if args.backend == "trajcl" and not getattr(args, "checkpoint", None):
+        # Self-contained path: a small model trained on the database keeps
+        # `make serve-bench` runnable without any prior artifacts.
+        backend = get_backend("trajcl", trajectories=database, dim=16,
+                              max_len=32, epochs=args.train_epochs,
+                              seed=args.seed)
+    else:
+        backend = _resolve_backend(args.backend, args, database)
+    queries = database[:min(args.queries, len(database))]
+
+    worker_counts = [int(w) for w in args.workers.split(",")]
+    results = []
+    for workers in worker_counts:
+        if workers > 1:
+            service = ShardedSimilarityService(backend=backend,
+                                               num_workers=workers)
+        else:
+            service = SimilarityService(backend=backend)
+        try:
+            service.add(database)
+            service.knn(queries, k=args.k)  # warm caches in every process
+
+            start = time.perf_counter()
+            for _ in range(args.repeats):
+                for query in queries:
+                    service.knn(query, k=args.k)
+            unbatched = args.repeats * len(queries) / (
+                time.perf_counter() - start)
+
+            with QueryQueue(service, max_batch=args.max_batch,
+                            max_wait=args.batch_wait) as queue:
+                start = time.perf_counter()
+                for _ in range(args.repeats):
+                    futures = [queue.submit(query, k=args.k)
+                               for query in queries]
+                    for future in futures:
+                        future.result()
+                batched = args.repeats * len(queries) / (
+                    time.perf_counter() - start)
+                stats = queue.stats
+            results.append({
+                "workers": workers,
+                "unbatched_qps": round(unbatched, 2),
+                "batched_qps": round(batched, 2),
+                "batches": stats.batches,
+                "largest_batch": stats.largest_batch,
+            })
+        finally:
+            if workers > 1:
+                service.close()
+
+    payload = {
+        "backend": backend.name,
+        "database_size": len(database),
+        "queries": len(queries),
+        "k": args.k,
+        "repeats": args.repeats,
+        "max_batch": args.max_batch,
+        "batch_wait": args.batch_wait,
+        "results": results,
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    print(format_table(
+        ["workers", "unbatched q/s", "batched q/s", "batches", "largest"],
+        [[r["workers"], r["unbatched_qps"], r["batched_qps"], r["batches"],
+          r["largest_batch"]] for r in results],
+    ))
+    if args.output:
+        print(f"written to {args.output}")
     return 0
 
 
@@ -286,8 +399,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lists", type=int, default=16, help="IVF lists")
     p.add_argument("--train-epochs", type=int, default=1,
                    help="training epochs for learned non-trajcl backends")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the database across this many worker "
+                        "processes (1: single-process service)")
+    p.add_argument("--batch-wait", type=float, default=0.0,
+                   help="route the query through a batching QueryQueue "
+                        "with this coalescing window in seconds (0: direct)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_knn)
+
+    p = sub.add_parser("serve-bench",
+                       help="serving throughput: q/s by workers and batching")
+    p.add_argument("--data", help="trajectories .npz (default: generate "
+                                  "a synthetic city)")
+    p.add_argument("--city", default="porto",
+                   choices=["porto", "chengdu", "xian", "germany"])
+    p.add_argument("--count", type=int, default=200,
+                   help="database size when generating")
+    p.add_argument("--backend", default="trajcl",
+                   help="backend name (trajcl trains a small model on the "
+                        "database unless --checkpoint is given)")
+    p.add_argument("--checkpoint", help="TrajCL checkpoint to serve")
+    p.add_argument("--queries", type=int, default=32)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--workers", default="1,2,4",
+                   help="comma-separated worker counts to sweep")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--batch-wait", type=float, default=0.005)
+    p.add_argument("--train-epochs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write the result JSON here "
+                                    "(e.g. benchmarks/results/BENCH_serving.json)")
+    p.set_defaults(func=cmd_serve_bench)
     return parser
 
 

@@ -58,9 +58,24 @@ class BruteForceIndex:
             raise RuntimeError("index is empty")
         k = min(k, len(self._data))
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if k <= 0:
+            return (np.empty((len(queries), 0)),
+                    np.empty((len(queries), 0), dtype=np.int64))
         distances = pairwise_distances(queries, self._data, self.metric)
-        top = np.argpartition(distances, k - 1, axis=1)[:, :k]
-        rows = np.arange(len(queries))[:, None]
-        order = np.argsort(distances[rows, top], axis=1)
-        indices = top[rows, order]
-        return distances[rows, indices], indices
+        out_distances = np.empty((len(queries), k))
+        out_indices = np.empty((len(queries), k), dtype=np.int64)
+        for row, row_distances in enumerate(distances):
+            # argpartition keeps search O(n + t log t), but picks an
+            # arbitrary subset of equal-distance ties at the k boundary —
+            # widen to *all* candidates tied with the k-th distance, then
+            # rank by (distance, id) so this exact index, the service's
+            # stable scan path and the sharded merge all agree.
+            kth = row_distances[
+                np.argpartition(row_distances, k - 1)[:k]
+            ].max()
+            candidates = np.flatnonzero(row_distances <= kth)
+            order = np.lexsort((candidates, row_distances[candidates]))[:k]
+            chosen = candidates[order]
+            out_distances[row] = row_distances[chosen]
+            out_indices[row] = chosen
+        return out_distances, out_indices

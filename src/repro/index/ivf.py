@@ -41,12 +41,17 @@ class IVFFlatIndex:
         self._ids: list = []
         self._trained = False
         self._size = 0
+        self.train_count = 0
 
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
     def train(self, vectors: np.ndarray, rng: Optional[np.random.Generator] = None) -> None:
-        """Fit the coarse quantizer (k-means over a training sample)."""
+        """Fit the coarse quantizer (k-means over a training sample).
+
+        Re-training empties the inverted lists, so previously added vectors
+        must be re-added by the caller; the id counter resets with them.
+        """
         vectors = np.asarray(vectors, dtype=np.float64)
         if len(vectors) < self.n_lists:
             raise ValueError(
@@ -56,6 +61,8 @@ class IVFFlatIndex:
         self._lists = [np.empty((0, self.dim)) for _ in range(self.n_lists)]
         self._ids = [np.empty(0, dtype=np.int64) for _ in range(self.n_lists)]
         self._trained = True
+        self._size = 0
+        self.train_count += 1
 
     def add(self, vectors: np.ndarray) -> None:
         """Assign vectors to their Voronoi cells' inverted lists."""
@@ -112,9 +119,11 @@ class IVFFlatIndex:
                 queries[row:row + 1], candidate_vectors, self.metric
             )[0]
             take = min(k, len(distances))
-            top = np.argpartition(distances, take - 1)[:take]
-            order = np.argsort(distances[top])
-            chosen = top[order]
+            # Rank all probed candidates by (distance, database id) — the
+            # id tie-break must span the k boundary (argpartition would
+            # keep an arbitrary subset of boundary ties) so results are
+            # deterministic and agree with the brute-force reference.
+            chosen = np.lexsort((candidate_ids, distances))[:take]
             out_distances[row, :take] = distances[chosen]
             out_indices[row, :take] = candidate_ids[chosen]
         return out_distances, out_indices

@@ -114,6 +114,56 @@ class TestKnn:
             SimilarityService(backend=trajcl_backend).knn(np.zeros((4, 2)), k=1)
 
 
+class TestEmptyBatches:
+    def test_encode_batch_empty_has_embedding_dim(self, trajcl_backend):
+        service = SimilarityService(backend=trajcl_backend)
+        empty = service.encode_batch([])
+        assert empty.shape == (0, trajcl_backend.output_dim)
+
+    def test_knn_empty_queries_well_shaped(self, trajcl_service):
+        distances, ids = trajcl_service.knn([], k=4)
+        assert distances.shape == (0, 4)
+        assert ids.shape == (0, 4)
+        assert ids.dtype == np.int64
+
+    def test_pairwise_empty_queries_and_database(self, trajcl_service,
+                                                 trajectories):
+        assert trajcl_service.pairwise([]).shape == (0, len(trajectories))
+        assert trajcl_service.pairwise(trajectories[:3], []).shape == (3, 0)
+
+    def test_distance_backend_pairwise_empty(self, trajectories):
+        service = SimilarityService(backend="edr").add(trajectories)
+        assert service.pairwise([]).shape == (0, len(trajectories))
+
+
+class TestStableTies:
+    def test_scan_path_breaks_ties_by_database_id(self, trajectories):
+        class TiedMeasure:
+            name = "tied"
+
+            def distance(self, a, b):
+                return 1.0
+
+            def pairwise(self, queries, database):
+                return np.ones((len(queries), len(database)))
+
+        service = SimilarityService(backend=TiedMeasure()).add(trajectories)
+        _, ids = service.knn(trajectories[0], k=5)
+        np.testing.assert_array_equal(ids[0], np.arange(5))
+        _, ids = service.knn(trajectories[0], k=5, exclude=2)
+        np.testing.assert_array_equal(ids[0], [0, 1, 3, 4, 5])
+
+    def test_bruteforce_index_breaks_ties_by_database_id(self, trajcl_backend,
+                                                         trajectories):
+        # Duplicate trajectories embed identically: the vector-index path
+        # must rank the equal-distance copies by database id, agreeing with
+        # the scan path.
+        service = SimilarityService(backend=trajcl_backend)
+        service.add([trajectories[0]] * 4 + [trajectories[1]])
+        _, ids = service.knn(trajectories[0], k=4)
+        np.testing.assert_array_equal(ids[0], np.arange(4))
+
+
 class TestCache:
     def test_encode_batch_caches_by_content(self, trajcl_backend, trajectories):
         service = SimilarityService(backend=trajcl_backend, batch_size=4)
@@ -128,6 +178,23 @@ class TestCache:
         service = SimilarityService(backend=trajcl_backend, cache_size=4)
         service.encode_batch(trajectories)
         assert len(service._cache) <= 4
+
+    def test_cache_key_distinguishes_dtypes(self):
+        # Byte-identical buffers under different dtypes must never collide.
+        as_float = np.zeros((4, 2), dtype=np.float64)
+        as_int = np.zeros((4, 2), dtype=np.int64)
+        assert as_float.tobytes() == as_int.tobytes()
+        assert (SimilarityService._cache_key(as_float)
+                != SimilarityService._cache_key(as_int))
+
+    def test_cache_info_counters(self, trajcl_backend, trajectories):
+        service = SimilarityService(backend=trajcl_backend)
+        info = service.cache_info()
+        assert info.hits == info.misses == info.size == 0
+        service.encode_batch(trajectories[:4])
+        service.encode_batch(trajectories[:4])
+        info = service.cache_info()
+        assert info == (4, 4, 4, service.cache_size)
 
 
 class TestSaveLoad:
@@ -191,3 +258,23 @@ class TestSaveLoad:
         np.savez(path, stuff=np.arange(3))
         with pytest.raises(ValueError, match="not a SimilarityService"):
             SimilarityService.load(path)
+
+    def test_include_cache_restores_warm(self, trajcl_backend, trajectories,
+                                         tmp_path):
+        path = str(tmp_path / "warm.npz")
+        service = SimilarityService(backend=trajcl_backend).add(trajectories)
+        before = service.encode_batch(trajectories)
+        service.save(path, include_cache=True)
+        restored = SimilarityService.load(path)
+        after = restored.encode_batch(trajectories)
+        info = restored.cache_info()
+        assert info.misses == 0 and info.hits == len(trajectories)
+        np.testing.assert_allclose(before, after)
+
+    def test_cache_not_saved_by_default(self, trajcl_backend, trajectories,
+                                        tmp_path):
+        path = str(tmp_path / "cold.npz")
+        service = SimilarityService(backend=trajcl_backend).add(trajectories)
+        service.save(path)
+        restored = SimilarityService.load(path)
+        assert restored.cache_info().size == 0

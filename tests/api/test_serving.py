@@ -1,0 +1,262 @@
+"""Tests for the serving layer: sharded kNN parity with the single-process
+service, the batched query queue under concurrent callers, and incremental
+IVF behaviour through the service stack."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    QueryQueue,
+    ShardedSimilarityService,
+    SimilarityService,
+    get_backend,
+)
+
+from .test_registry import make_trajectories
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    return make_trajectories(n=20, seed=11)
+
+
+@pytest.fixture(scope="module")
+def trajcl_backend(trajectories):
+    return get_backend("trajcl", trajectories=trajectories, dim=8, max_len=16,
+                       epochs=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def single_service(trajcl_backend, trajectories):
+    return SimilarityService(backend=trajcl_backend).add(trajectories)
+
+
+@pytest.fixture(scope="module")
+def sharded_service(trajcl_backend, trajectories):
+    service = ShardedSimilarityService(backend=trajcl_backend, num_workers=3)
+    service.add(trajectories)
+    yield service
+    service.close()
+
+
+class TestShardedParity:
+    def test_knn_identical_to_single_service(self, single_service,
+                                             sharded_service, trajectories):
+        queries = trajectories[:6]
+        d_single, i_single = single_service.knn(queries, k=5)
+        d_sharded, i_sharded = sharded_service.knn(queries, k=5)
+        np.testing.assert_array_equal(i_single, i_sharded)
+        np.testing.assert_allclose(d_single, d_sharded)
+
+    def test_knn_parity_with_exclude_and_dedupe(self, single_service,
+                                                sharded_service,
+                                                trajectories):
+        for kwargs in ({"exclude": 3}, {"dedupe_eps": 1e-9},
+                       {"exclude": 3, "dedupe_eps": 1e-9}):
+            d_single, i_single = single_service.knn(
+                trajectories[3], k=4, **kwargs)
+            d_sharded, i_sharded = sharded_service.knn(
+                trajectories[3], k=4, **kwargs)
+            np.testing.assert_array_equal(i_single, i_sharded)
+            np.testing.assert_allclose(d_single, d_sharded)
+
+    def test_distance_backend_parity(self, trajectories):
+        single = SimilarityService(backend="hausdorff").add(trajectories)
+        with ShardedSimilarityService(backend="hausdorff",
+                                      num_workers=2) as sharded:
+            sharded.add(trajectories)
+            d_single, i_single = single.knn(trajectories[1], k=4, exclude=1)
+            d_sharded, i_sharded = sharded.knn(trajectories[1], k=4, exclude=1)
+            np.testing.assert_array_equal(i_single, i_sharded)
+            np.testing.assert_allclose(d_single, d_sharded)
+
+    def test_more_workers_than_trajectories_pads(self, trajcl_backend,
+                                                 trajectories):
+        with ShardedSimilarityService(backend=trajcl_backend,
+                                      num_workers=4) as sharded:
+            sharded.add(trajectories[:2])
+            distances, ids = sharded.knn(trajectories[0], k=5, exclude=0)
+            assert ids.shape == (1, 5)
+            assert (ids[0, 1:] == -1).all()
+            assert np.isinf(distances[0, 1:]).all()
+
+    def test_pairwise_matches_single_service(self, single_service,
+                                             sharded_service, trajectories):
+        queries = trajectories[:4]
+        np.testing.assert_allclose(single_service.pairwise(queries),
+                                   sharded_service.pairwise(queries))
+        np.testing.assert_allclose(
+            single_service.pairwise(queries, trajectories[:3]),
+            sharded_service.pairwise(queries, trajectories[:3]),
+        )
+
+    def test_incremental_add_keeps_parity(self, trajcl_backend, trajectories):
+        single = SimilarityService(backend=trajcl_backend)
+        with ShardedSimilarityService(backend=trajcl_backend,
+                                      num_workers=2) as sharded:
+            for chunk in (trajectories[:7], trajectories[7:12],
+                          trajectories[12:]):
+                single.add(chunk)
+                sharded.add(chunk)
+            assert len(sharded) == len(single) == len(trajectories)
+            assert sum(sharded.shard_sizes) == len(trajectories)
+            d_single, i_single = single.knn(trajectories[9], k=6, exclude=9)
+            d_sharded, i_sharded = sharded.knn(trajectories[9], k=6, exclude=9)
+            np.testing.assert_array_equal(i_single, i_sharded)
+            np.testing.assert_allclose(d_single, d_sharded)
+
+    def test_ivf_recall_at_least_single_service(self, trajcl_backend,
+                                                trajectories):
+        queries = trajectories[:8]
+        exact = SimilarityService(backend=trajcl_backend).add(trajectories)
+        _, truth = exact.knn(queries, k=3)
+        ivf_single = SimilarityService(
+            backend=trajcl_backend, index="ivf",
+            index_kwargs={"n_lists": 4, "n_probe": 2, "seed": 0},
+        ).add(trajectories)
+        _, approx_single = ivf_single.knn(queries, k=3)
+        with ShardedSimilarityService(
+            backend=trajcl_backend, index="ivf", num_workers=2,
+            index_kwargs={"n_lists": 4, "n_probe": 2, "seed": 0},
+        ) as sharded:
+            sharded.add(trajectories)
+            _, approx_sharded = sharded.knn(queries, k=3)
+
+        def recall(approx):
+            return sum(
+                len(set(approx[i]) & set(truth[i])) for i in range(len(truth))
+            ) / truth.size
+
+        assert recall(approx_sharded) >= recall(approx_single)
+
+    def test_empty_query_batch(self, sharded_service):
+        distances, ids = sharded_service.knn([], k=3)
+        assert distances.shape == (0, 3)
+        assert ids.shape == (0, 3)
+
+    def test_worker_error_keeps_rpc_in_sync(self, sharded_service,
+                                            trajectories):
+        # A failing command must drain every shard's reply before raising,
+        # or the next command would read a stale buffered response.
+        with pytest.raises(RuntimeError, match="unknown shard command"):
+            sharded_service._broadcast(
+                "no-such-command", [None] * sharded_service.num_workers)
+        assert sum(sharded_service._broadcast(
+            "len", [None] * sharded_service.num_workers)
+        ) == len(trajectories)
+        _, ids = sharded_service.knn(trajectories[0], k=3)
+        assert ids.shape == (1, 3)
+
+    def test_validation_and_lifecycle(self, trajcl_backend, trajectories):
+        with pytest.raises(ValueError, match="num_workers"):
+            ShardedSimilarityService(backend=trajcl_backend, num_workers=0)
+        service = ShardedSimilarityService(backend=trajcl_backend,
+                                           num_workers=2)
+        with pytest.raises(RuntimeError, match="empty"):
+            service.knn(trajectories[0], k=1)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            service.add(trajectories)
+
+
+class TestQueryQueue:
+    def test_concurrent_callers_get_correct_results(self, single_service,
+                                                    trajectories):
+        expected = {
+            i: single_service.knn(trajectories[i], k=4, exclude=i)
+            for i in range(len(trajectories))
+        }
+        results = {}
+        errors = []
+
+        def caller(i):
+            try:
+                barrier.wait(timeout=10)
+                results[i] = queue.knn(trajectories[i], k=4, exclude=i,
+                                       timeout=30)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        barrier = threading.Barrier(len(trajectories))
+        with QueryQueue(single_service, max_batch=32,
+                        max_wait=0.05) as queue:
+            threads = [threading.Thread(target=caller, args=(i,))
+                       for i in range(len(trajectories))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            stats = queue.stats
+        assert not errors
+        assert stats.queries == len(trajectories)
+        for i, (row_d, row_i) in results.items():
+            exp_d, exp_i = expected[i]
+            np.testing.assert_array_equal(row_i, exp_i[0])
+            np.testing.assert_allclose(row_d, exp_d[0])
+
+    def test_coalesces_submissions_into_batches(self, single_service,
+                                                trajectories):
+        with QueryQueue(single_service, max_batch=64, max_wait=0.5) as queue:
+            futures = [queue.submit(t, k=3) for t in trajectories]
+            for future in futures:
+                future.result(timeout=30)
+            stats = queue.stats
+        assert stats.queries == len(trajectories)
+        # The 0.5s window is far longer than the submission loop, so the
+        # flush thread must have coalesced (at most one straggler batch).
+        assert stats.batches <= 2
+        assert stats.largest_batch >= len(trajectories) - 1
+
+    def test_groups_by_query_signature(self, single_service, trajectories):
+        with QueryQueue(single_service, max_batch=64, max_wait=0.5) as queue:
+            mixed = [queue.submit(trajectories[0], k=2),
+                     queue.submit(trajectories[1], k=5),
+                     queue.submit(trajectories[2], k=2)]
+            (d2a, i2a), (d5, i5), (d2b, i2b) = [
+                f.result(timeout=30) for f in mixed
+            ]
+        assert len(i2a) == len(i2b) == 2
+        assert len(i5) == 5
+
+    def test_errors_propagate_to_futures(self, single_service, trajectories):
+        with QueryQueue(single_service, max_wait=0.01) as queue:
+            future = queue.submit(trajectories[0], k=0)  # invalid k
+            with pytest.raises(ValueError, match="k must be"):
+                future.result(timeout=30)
+
+    def test_cancelled_future_does_not_kill_the_queue(self, single_service,
+                                                      trajectories):
+        with QueryQueue(single_service, max_batch=8, max_wait=0.2) as queue:
+            doomed = queue.submit(trajectories[0], k=2)
+            assert doomed.cancel()
+            row_d, row_i = queue.knn(trajectories[1], k=2, timeout=30)
+            assert row_i.shape == (2,)
+        assert queue.stats.queries == 1  # the cancelled query never ran
+
+    def test_close_drains_then_refuses(self, single_service, trajectories):
+        queue = QueryQueue(single_service, max_wait=0.2)
+        future = queue.submit(trajectories[0], k=2)
+        queue.close()
+        assert future.result(timeout=30)[1].shape == (2,)
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(trajectories[0], k=2)
+
+    def test_works_over_sharded_service(self, sharded_service, single_service,
+                                        trajectories):
+        with QueryQueue(sharded_service, max_batch=16, max_wait=0.05) as queue:
+            futures = [queue.submit(t, k=3, exclude=i)
+                       for i, t in enumerate(trajectories[:6])]
+            rows = [f.result(timeout=30) for f in futures]
+        for i, (row_d, row_i) in enumerate(rows):
+            exp_d, exp_i = single_service.knn(trajectories[i], k=3, exclude=i)
+            np.testing.assert_array_equal(row_i, exp_i[0])
+            np.testing.assert_allclose(row_d, exp_d[0])
+
+    def test_validation(self, single_service):
+        with pytest.raises(ValueError, match="max_batch"):
+            QueryQueue(single_service, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait"):
+            QueryQueue(single_service, max_wait=-1.0)

@@ -79,9 +79,32 @@ class TestBruteForceIndex:
         distances, indices = index.search(np.zeros(2), k=10)
         assert indices.shape == (1, 3)
 
+    def test_k_zero_returns_empty(self):
+        index = BruteForceIndex(2)
+        index.add(RNG.standard_normal((3, 2)))
+        distances, indices = index.search(np.zeros((2, 2)), k=0)
+        assert distances.shape == (2, 0)
+        assert indices.shape == (2, 0)
+
     def test_empty_search_raises(self):
         with pytest.raises(RuntimeError):
             BruteForceIndex(2).search(np.zeros(2), 1)
+
+    def test_tie_break_by_id(self):
+        index = BruteForceIndex(3)
+        index.add(np.tile(np.ones(3), (5, 1)))  # five identical vectors
+        _, indices = index.search(np.ones(3), k=3)
+        np.testing.assert_array_equal(indices[0], [0, 1, 2])
+
+    def test_tie_break_spans_k_boundary(self):
+        # Ties straddling the k boundary must resolve by id over the whole
+        # ranking, matching the service's stable scan path: here ids 4..7
+        # are all at distance 0 and only the three smallest ids may win.
+        index = BruteForceIndex(1)
+        index.add(np.array([[2.0], [2.0], [1.0], [1.0],
+                            [0.0], [0.0], [0.0], [0.0]]))
+        _, indices = index.search(np.zeros(1), k=3)
+        np.testing.assert_array_equal(indices[0], [4, 5, 6])
 
     def test_dim_validation(self):
         index = BruteForceIndex(3)
@@ -151,6 +174,112 @@ class TestIVFFlatIndex:
         assert len(index) == 150
         _, indices = index.search(more[:3], k=1, n_probe=index.n_lists)
         np.testing.assert_array_equal(indices[:, 0], [100, 101, 102])
+
+    def test_train_counts_and_resets_contents(self):
+        index, data = self.build(n=100)
+        assert index.train_count == 1
+        # Re-training empties the inverted lists and restarts the ids, so
+        # re-added vectors get ids from zero (no ghost entries).
+        index.train(data, rng=np.random.default_rng(5))
+        assert index.train_count == 2
+        assert len(index) == 0
+        index.add(data[:40])
+        assert len(index) == 40
+        _, indices = index.search(data[:3], k=1, n_probe=index.n_lists)
+        np.testing.assert_array_equal(indices[:, 0], [0, 1, 2])
+
+    def test_tie_break_by_id(self):
+        index = IVFFlatIndex(4, n_lists=1, n_probe=1)
+        data = np.tile(np.arange(4.0), (6, 1))  # six identical vectors
+        index.train(data, rng=np.random.default_rng(0))
+        index.add(data)
+        _, indices = index.search(data[:1], k=3)
+        np.testing.assert_array_equal(indices[0], [0, 1, 2])
+
+
+class TestIVFBackendIndex:
+    """Incremental updates through the service-facing IVF adapter."""
+
+    def build(self, n=120, dim=8, seed=0):
+        from repro.api import IVFBackendIndex
+
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, dim))
+        index = IVFBackendIndex(n_lists=8, n_probe=8, seed=0)
+        index.add(data)
+        return index, data, rng
+
+    def test_append_does_not_retrain(self):
+        index, data, rng = self.build()
+        index.search(data[:2], k=3)
+        assert index.train_count == 1
+        more = rng.standard_normal((20, 8))
+        index.add(more)
+        index.search(data[:2], k=3)
+        index.search(more[:2], k=3)
+        assert index.train_count == 1, (
+            "a small append must assign to existing centroids, not re-run "
+            "k-means over the whole database"
+        )
+        assert len(index) == 140
+
+    def test_appended_vectors_are_searchable(self):
+        index, data, rng = self.build()
+        index.search(data[:2], k=3)
+        more = rng.standard_normal((20, 8)) + 0.1
+        index.add(more)
+        _, indices = index.search(more[:4], k=1)
+        np.testing.assert_array_equal(indices[:, 0], [120, 121, 122, 123])
+
+    def test_retrains_after_growth_threshold(self):
+        index, data, rng = self.build()
+        index.search(data[:2], k=3)
+        assert index.train_count == 1
+        index.add(rng.standard_normal((150, 8)))  # 270 > 2 * 120
+        index.search(data[:2], k=3)
+        assert index.train_count == 2
+
+    def test_incremental_recall_close_to_rebuild(self):
+        from repro.api import IVFBackendIndex
+
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((200, 8))
+        extra = rng.standard_normal((60, 8))
+        queries = rng.standard_normal((30, 8))
+        truth = BruteForceIndex(8)
+        truth.add(np.concatenate([data, extra]))
+        _, exact = truth.search(queries, k=5)
+
+        def recall(index):
+            _, approx = index.search(queries, k=5)
+            return sum(
+                len(set(approx[i]) & set(exact[i]))
+                for i in range(len(queries))
+            ) / exact.size
+
+        incremental = IVFBackendIndex(n_lists=8, n_probe=4, seed=0)
+        incremental.add(data)
+        incremental.search(queries[:1], k=1)  # trains on the initial 200
+        incremental.add(extra)                # assigned, not re-trained
+        rebuilt = IVFBackendIndex(n_lists=8, n_probe=4, seed=0)
+        rebuilt.add(np.concatenate([data, extra]))
+        assert incremental.train_count == 1
+        assert recall(incremental) >= recall(rebuilt) - 0.1, (
+            "incremental assignment should cost little recall vs a full "
+            "rebuild"
+        )
+
+    def test_retrain_factor_validation_and_state(self):
+        from repro.api import IVFBackendIndex, get_index
+
+        with pytest.raises(ValueError, match="retrain_factor"):
+            IVFBackendIndex(retrain_factor=0.5)
+        index, data, _ = self.build()
+        index.search(data[:1], k=1)
+        meta, arrays = index.state()
+        restored = get_index("ivf").restore(meta, arrays)
+        assert restored.retrain_factor == index.retrain_factor
+        assert len(restored) == len(index)
 
 
 def random_trajectories(n=60, seed=0):

@@ -118,6 +118,7 @@ class TestTrainEncodeEvaluateKnn:
                      "--data", dataset_path, "--query", "2", "--k", "3"]) == 0
         out = capsys.readouterr().out
         assert "3NN of trajectory 2" in out
+        assert "index bruteforce" in out  # the embedding-backend default
         assert "#3:" in out
 
 
@@ -179,3 +180,45 @@ class TestBackendsCommand:
         service.add(database)
         _, ids = service.knn(database[2], k=3, exclude=2)
         assert cli_ids == ids[0].tolist()
+
+
+class TestServingCli:
+    def test_knn_workers_matches_single_process(self, dataset_path, capsys):
+        argv = ["knn", "--data", dataset_path, "--backend", "hausdorff",
+                "--query", "1", "--k", "3"]
+        assert main(argv) == 0
+        single_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        # Same neighbours and distances, shard-count aside.
+        assert single_out.splitlines()[1:] == sharded_out.splitlines()[1:]
+        assert "workers 2" in sharded_out
+        # Both paths resolve and report the backend's real default index.
+        assert "index segment" in single_out
+        assert "index segment" in sharded_out
+
+    def test_knn_batch_wait_routes_through_queue(self, dataset_path, capsys):
+        argv = ["knn", "--data", dataset_path, "--backend", "hausdorff",
+                "--query", "1", "--k", "3"]
+        assert main(argv) == 0
+        direct_out = capsys.readouterr().out
+        assert main(argv + ["--batch-wait", "0.01"]) == 0
+        queued_out = capsys.readouterr().out
+        assert direct_out.splitlines()[1:] == queued_out.splitlines()[1:]
+
+    def test_serve_bench_writes_json(self, dataset_path, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "BENCH_serving.json")
+        assert main(["serve-bench", "--data", dataset_path,
+                     "--backend", "hausdorff", "--queries", "4", "--k", "2",
+                     "--workers", "1,2", "--repeats", "1",
+                     "--output", out_path]) == 0
+        printed = capsys.readouterr().out
+        assert "unbatched q/s" in printed
+        payload = json.loads(open(out_path).read())
+        assert payload["backend"] == "hausdorff"
+        assert [r["workers"] for r in payload["results"]] == [1, 2]
+        for row in payload["results"]:
+            assert row["unbatched_qps"] > 0
+            assert row["batched_qps"] > 0
