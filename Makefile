@@ -1,22 +1,33 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench serve-bench
+.PHONY: test test-all smoke serve-smoke bench serve-bench
 
-# Tier-1 suite (the repo's verification gate).
+# Tier-1 suite (the repo's verification gate; deselects `slow`-marked
+# serving stress tests — see pytest.ini).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Everything, including the slow serving stress tests.
+test-all:
+	$(PYTHON) -m pytest -x -q -m ""
 
 # End-to-end CLI pipeline (generate -> train -> evaluate -> knn) on a tiny
 # dataset; finishes in well under a minute.
 smoke:
 	$(PYTHON) -m pytest -m smoke -q
 
+# Boots a real `repro serve` process on a random port (scan-path frechet
+# backend), runs one remote knn round-trip, exits nonzero on failure.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+
 # Paper-table benchmark harnesses (slow; needs pytest-benchmark).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-# Serving-layer throughput sweep (queries/sec at 1/2/4 workers, batched vs
-# unbatched) recorded for the perf trajectory across PRs.
+# Serving-layer throughput sweep (queries/sec in-process at 1/2/4 workers
+# plus remote and asyncio clients) merged scenario-by-scenario into the
+# perf-trajectory record.
 serve-bench:
 	$(PYTHON) -m repro serve-bench --output benchmarks/results/BENCH_serving.json

@@ -1,8 +1,10 @@
-"""Serving-layer throughput — queries/sec by worker count and batching mode.
+"""Serving-layer throughput — queries/sec by serving mode.
 
 Runs the ``serve-bench`` CLI sweep (the same path ``make serve-bench``
-uses) at a reduced scale and records ``BENCH_serving.json`` so later PRs
-have a perf trajectory for the sharded + batched serving stack.
+uses) at a reduced scale and merges ``BENCH_serving.json`` so later PRs
+have a perf trajectory for the sharded + batched + remote serving stack.
+The record is keyed by scenario (``in_process``/``remote``/``async``);
+scenarios not re-run by a sweep keep their previous numbers.
 """
 
 import json
@@ -21,6 +23,7 @@ def test_serving_throughput(benchmark):
             "serve-bench",
             "--count", "120", "--queries", "16", "--k", "5",
             "--workers", "1,2,4", "--repeats", "2",
+            "--scenarios", "in_process,remote,async",
             "--seed", str(SEED),
             "--output", str(out),
         ]) == 0
@@ -28,11 +31,17 @@ def test_serving_throughput(benchmark):
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
+    scenarios = payload["scenarios"]
+    assert {"in_process", "remote", "async"} <= set(scenarios)
     rows = [[r["workers"], r["unbatched_qps"], r["batched_qps"],
-             r["batches"], r["largest_batch"]] for r in payload["results"]]
+             r["batches"], r["largest_batch"]]
+            for r in scenarios["in_process"]["results"]]
     assert len(rows) == 3
     for row in rows:
         assert row[1] > 0 and row[2] > 0
+    assert scenarios["remote"]["results"]["qps"] > 0
+    assert scenarios["remote"]["results"]["batched_qps"] > 0
+    assert scenarios["async"]["results"]["qps"] > 0
     save_result(
         "BENCH_serving",
         json.dumps(payload, indent=2),

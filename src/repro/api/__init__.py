@@ -24,8 +24,13 @@ embeddings, and snapshots config + weights + index state to one ``.npz``.
 
 For serving at scale, :mod:`repro.api.serving` shards the database across
 worker processes (:class:`ShardedSimilarityService`) and batches concurrent
-queries (:class:`QueryQueue`); see that module's docstring for the
-composition example.
+queries (:class:`QueryQueue`); :mod:`repro.api.remote` puts any of those
+services behind a TCP port (:class:`SimilarityServer`) with blocking
+(:class:`RemoteSimilarityClient`) and asyncio
+(:class:`AsyncSimilarityClient`) front-ends. All inter-process and
+network traffic speaks the framed-message protocol in
+:mod:`repro.api.transport`; see each module's docstring for composition
+examples.
 """
 
 from .protocols import (
@@ -57,6 +62,20 @@ from .indexes import (
 )
 from .service import CacheInfo, SimilarityService
 from .serving import QueryQueue, QueueStats, ShardedSimilarityService
+from .transport import (
+    PipeTransport,
+    RemoteCallError,
+    ServiceNode,
+    SocketTransport,
+    Transport,
+    TransportClosed,
+    TransportError,
+)
+from .remote import (
+    AsyncSimilarityClient,
+    RemoteSimilarityClient,
+    SimilarityServer,
+)
 
 __all__ = [
     "EMBEDDING",
@@ -85,4 +104,14 @@ __all__ = [
     "ShardedSimilarityService",
     "QueryQueue",
     "QueueStats",
+    "Transport",
+    "TransportError",
+    "TransportClosed",
+    "RemoteCallError",
+    "PipeTransport",
+    "SocketTransport",
+    "ServiceNode",
+    "SimilarityServer",
+    "RemoteSimilarityClient",
+    "AsyncSimilarityClient",
 ]

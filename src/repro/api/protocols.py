@@ -214,10 +214,13 @@ class _MatrixBackend(SimilarityBackend):
 class KnnService(Protocol):
     """Anything that answers batched kNN with the service's signature.
 
-    Both :class:`~repro.api.service.SimilarityService` and
-    :class:`~repro.api.serving.ShardedSimilarityService` satisfy it, so the
-    serving-layer wrappers (:class:`~repro.api.serving.QueryQueue`) compose
-    with either interchangeably.
+    :class:`~repro.api.service.SimilarityService`,
+    :class:`~repro.api.serving.ShardedSimilarityService` and
+    :class:`~repro.api.remote.RemoteSimilarityClient` all satisfy it, so
+    the serving-layer wrappers (:class:`~repro.api.serving.QueryQueue`,
+    :class:`~repro.api.remote.SimilarityServer`) compose with any of them
+    interchangeably — a queue can batch onto a remote server exactly as it
+    batches onto an in-process service.
     """
 
     def knn(

@@ -192,6 +192,22 @@ class SimilarityService:
         return CacheInfo(self.cache_hits, self.cache_misses,
                          len(self._cache), self.cache_size)
 
+    def stats(self) -> Dict:
+        """Serving metadata: backend, index, size, cache counters.
+
+        One JSON-able dict shared by ``repr``-style introspection and the
+        remote serving layer's ``stats`` command
+        (:class:`~repro.api.remote.SimilarityServer`).
+        """
+        return {
+            "type": type(self).__name__,
+            "backend": self.backend.name,
+            "kind": self.backend.kind,
+            "index": self.index.name if self.index is not None else "scan",
+            "size": len(self),
+            "cache": self.cache_info()._asdict(),
+        }
+
     def _cache_put(self, key: str, vector: np.ndarray) -> None:
         if self.cache_size <= 0:
             return

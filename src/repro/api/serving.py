@@ -5,15 +5,16 @@ the scalable serving path the ROADMAP calls for:
 
 * :class:`ShardedSimilarityService` — partitions the database across N
   worker *processes* (each holding a full ``SimilarityService`` with its
-  own index shard), fans ``add``/``knn``/``pairwise`` out over pipes, and
-  merges per-shard top-k with distance-then-id tie-breaking. For exact
-  indexes the merged result is identical to a single service over the
-  same database;
-* :class:`QueryQueue` — coalesces many concurrent ``knn`` calls into
-  batched service calls (up to ``max_batch`` queries per flush, waiting at
-  most ``max_wait`` seconds for stragglers), so heavy traffic amortizes
-  encoder cost instead of paying per-call overhead. Callers get
-  :class:`concurrent.futures.Future` results, or block via :meth:`knn`.
+  own index shard), fans ``add``/``knn``/``pairwise`` out over
+  :mod:`~repro.api.transport` channels, and merges per-shard top-k with
+  distance-then-id tie-breaking. For exact indexes the merged result is
+  identical to a single service over the same database;
+* :class:`QueryQueue` — coalesces many concurrent ``knn`` (and
+  ``pairwise``) calls into batched service calls (up to ``max_batch``
+  queries per flush, waiting at most ``max_wait`` seconds for
+  stragglers), so heavy traffic amortizes encoder cost instead of paying
+  per-call overhead. Callers get :class:`concurrent.futures.Future`
+  results, or block via :meth:`knn` / :meth:`pairwise`.
 
 Both compose: put a ``QueryQueue`` in front of a
 ``ShardedSimilarityService`` for batched, sharded serving::
@@ -28,7 +29,10 @@ Both compose: put a ``QueryQueue`` in front of a
 
 Backends travel to the workers through ``backend_state``/``restore_backend``
 (the same representation snapshots use), so every registry backend that can
-be saved can be sharded.
+be saved can be sharded. All shard traffic flows through the
+:class:`~repro.api.transport.Transport` abstraction — the workers never
+know whether a pipe or a socket sits underneath, which is what lets
+:mod:`repro.api.remote` serve the same stack over TCP.
 """
 
 from __future__ import annotations
@@ -36,7 +40,6 @@ from __future__ import annotations
 import multiprocessing as mp
 import threading
 import time
-import traceback
 from collections import deque, namedtuple
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -48,6 +51,13 @@ from .backends import backend_state, restore_backend
 from .protocols import KnnService, SimilarityBackend, as_backend
 from .registry import get_backend
 from .service import SimilarityService, _default_index_for
+from .transport import (
+    PipeTransport,
+    ServiceNode,
+    TransportError,
+    broadcast,
+    read_reply,
+)
 
 #: one batch-normalization rule shared with the single-process service —
 #: the two must never disagree on what counts as one trajectory
@@ -59,55 +69,48 @@ __all__ = ["ShardedSimilarityService", "QueryQueue", "QueueStats"]
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _shard_worker(conn, backend_meta, backend_arrays, index, index_kwargs,
-                  service_kwargs) -> None:
+def _shard_worker(transport, backend_meta, backend_arrays, index,
+                  index_kwargs, service_kwargs) -> None:
     """One shard: a full ``SimilarityService`` over a slice of the database.
 
-    Runs in a child process; speaks ``(command, payload)`` tuples over the
-    pipe and answers ``("ok", result)`` or ``("error", traceback)``.
+    Runs in a child process; a :class:`~repro.api.transport.ServiceNode`
+    answers the parent's ``(command, payload)`` requests until the parent
+    sends ``stop`` or hangs up.
     """
+    import traceback
+
     try:
         backend = restore_backend(backend_meta, backend_arrays)
         service = SimilarityService(backend=backend, index=index,
                                     index_kwargs=index_kwargs,
                                     **service_kwargs)
-        conn.send(("ok", None))
+        transport.send(("ok", None))
     except Exception:
-        conn.send(("error", traceback.format_exc()))
+        transport.send(("error", traceback.format_exc()))
         return
-    while True:
-        try:
-            command, payload = conn.recv()
-        except (EOFError, OSError):
-            break
-        if command == "stop":
-            conn.send(("ok", None))
-            break
-        try:
-            if command == "add":
-                service.add(payload)
-                result = len(service)
-            elif command == "knn":
-                queries, fetch = payload
-                if len(service) == 0:
-                    # This shard got no data (database smaller than the
-                    # worker count); contribute an all-padding pool.
-                    result = (np.full((len(queries), fetch), np.inf),
-                              np.full((len(queries), fetch), -1,
-                                      dtype=np.int64))
-                else:
-                    # No exclude/dedupe here: the parent filters after the
-                    # merge, where global ids are known.
-                    result = service.knn(queries, k=fetch)
-            elif command == "pairwise":
-                result = service.pairwise(payload)
-            elif command == "len":
-                result = len(service)
-            else:
-                raise ValueError(f"unknown shard command {command!r}")
-            conn.send(("ok", result))
-        except Exception:
-            conn.send(("error", traceback.format_exc()))
+
+    def handle_add(trajectories):
+        service.add(trajectories)
+        return len(service)
+
+    def handle_knn(payload):
+        queries, fetch = payload
+        if len(service) == 0:
+            # This shard got no data (database smaller than the worker
+            # count); contribute an all-padding pool.
+            return (np.full((len(queries), fetch), np.inf),
+                    np.full((len(queries), fetch), -1, dtype=np.int64))
+        # No exclude/dedupe here: the parent filters after the merge,
+        # where global ids are known.
+        return service.knn(queries, k=fetch)
+
+    node = ServiceNode(transport, {
+        "add": handle_add,
+        "knn": handle_knn,
+        "pairwise": service.pairwise,
+        "len": lambda _payload: len(service),
+    })
+    node.serve_forever()
 
 
 class ShardedSimilarityService:
@@ -169,51 +172,44 @@ class ShardedSimilarityService:
             start_method = ("fork" if "fork" in mp.get_all_start_methods()
                             else "spawn")
         context = mp.get_context(start_method)
-        self._connections = []
+        self._transports = []
         self._processes = []
         service_kwargs = {"batch_size": batch_size, "cache_size": cache_size}
         for _ in range(self.num_workers):
-            parent_conn, child_conn = context.Pipe()
+            parent_transport, child_transport = PipeTransport.pair(context)
             process = context.Process(
                 target=_shard_worker,
-                args=(child_conn, meta, arrays, index, index_kwargs,
+                args=(child_transport, meta, arrays, index, index_kwargs,
                       service_kwargs),
                 daemon=True,
             )
             process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
+            child_transport.close()
+            self._transports.append(parent_transport)
             self._processes.append(process)
-        for conn in self._connections:
-            self._receive(conn)  # surface construction errors eagerly
+        for transport in self._transports:
+            self._receive(transport)  # surface construction errors eagerly
 
     # ------------------------------------------------------------------
     # Worker RPC
     # ------------------------------------------------------------------
     @staticmethod
-    def _receive(conn):
-        status, result = conn.recv()
-        if status != "ok":
-            raise RuntimeError(f"shard worker failed:\n{result}")
-        return result
+    def _receive(transport):
+        try:
+            return read_reply(transport, who="shard worker")
+        except TransportError as error:
+            raise RuntimeError(f"shard worker failed: {error}") from error
 
     def _broadcast(self, command, payloads):
-        """Send one command per shard, then gather (keeps shards busy
-        concurrently rather than round-tripping one at a time).
-
-        Every reply is read before any error is raised — leaving a reply
-        buffered in a pipe would desynchronize the RPC for all later
-        commands on that shard.
-        """
+        """Fan one command out over the shards through the transport layer
+        (which drains every reply before raising, keeping the RPC in sync)."""
         if self._closed:
             raise RuntimeError("service is closed")
-        for conn, payload in zip(self._connections, payloads):
-            conn.send((command, payload))
-        replies = [conn.recv() for conn in self._connections]
-        failures = [result for status, result in replies if status != "ok"]
-        if failures:
-            raise RuntimeError("shard worker failed:\n" + "\n".join(failures))
-        return [result for _, result in replies]
+        try:
+            return broadcast(self._transports, command, payloads,
+                             who="shard worker")
+        except TransportError as error:
+            raise RuntimeError(f"shard worker failed: {error}") from error
 
     # ------------------------------------------------------------------
     # Database
@@ -251,6 +247,17 @@ class ShardedSimilarityService:
     def shard_sizes(self) -> List[int]:
         """Number of database trajectories held by each worker."""
         return [len(ids) for ids in self._shard_ids]
+
+    def stats(self) -> Dict:
+        """Serving metadata (shape mirrors :meth:`SimilarityService.stats`)."""
+        return {
+            "type": type(self).__name__,
+            "backend": self.backend.name,
+            "index": self.index_name or "scan",
+            "size": self._size,
+            "workers": self.num_workers,
+            "shard_sizes": self.shard_sizes,
+        }
 
     # ------------------------------------------------------------------
     # Queries
@@ -381,26 +388,39 @@ class ShardedSimilarityService:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers (idempotent)."""
+        """Stop the workers (idempotent, and robust to dead/hung workers).
+
+        Best-effort handshake first (``stop`` with a short reply window),
+        then bounded joins: a worker that is already gone — or wedged in a
+        long request — can delay :meth:`close` by at most a few seconds,
+        never block it indefinitely. After the join timeout the worker is
+        terminated, and killed if termination itself does not stick.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._connections:
+        for transport in self._transports:
             try:
-                conn.send(("stop", None))
-            except (BrokenPipeError, OSError):
-                pass
-        for conn in self._connections:
+                transport.send(("stop", None))
+            except TransportError:
+                pass  # worker already gone; reap it below
+        for transport in self._transports:
             try:
-                if conn.poll(1.0):
-                    conn.recv()
-            except (EOFError, OSError):
+                if transport.poll(1.0):
+                    transport.recv()
+            except TransportError:
                 pass
-            conn.close()
+            transport.close()
         for process in self._processes:
-            process.join(timeout=5.0)
+            process.join(timeout=2.0)
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():
+                # terminate() can be ignored mid-syscall; kill cannot.
+                kill = getattr(process, "kill", process.terminate)
+                kill()
+                process.join(timeout=1.0)
 
     def __enter__(self) -> "ShardedSimilarityService":
         return self
@@ -427,6 +447,10 @@ class ShardedSimilarityService:
 # ----------------------------------------------------------------------
 QueueStats = namedtuple("QueueStats", ["queries", "batches", "largest_batch"])
 
+#: pending-entry kinds
+_KNN = "knn"
+_PAIRWISE = "pairwise"
+
 
 class QueryQueue:
     """Coalesces concurrent single-query ``knn`` calls into batched ones.
@@ -438,6 +462,12 @@ class QueryQueue:
     ``max_wait`` seconds for more to arrive, groups them by identical
     ``(k, exclude, dedupe_eps)`` and issues one service ``knn`` per group —
     so a burst of users pays one chunked encoder pass instead of N.
+
+    ``pairwise`` requests ride the same queue: concurrent
+    :meth:`submit_pairwise` calls against the service database coalesce
+    into one stacked ``service.pairwise`` call whose result rows are
+    scattered back to the callers, instead of forcing matrix traffic
+    around the queue (and onto the thread-oblivious service) entirely.
 
     Only the flush thread touches the underlying service, which keeps the
     (thread-oblivious) :class:`SimilarityService` safe under concurrency.
@@ -466,14 +496,25 @@ class QueryQueue:
                exclude: Optional[int] = None,
                dedupe_eps: Optional[float] = None):
         """Enqueue one query; returns a Future of ``(distances, ids)``."""
+        points = as_points(query)
+        return self._enqueue((_KNN, points, k, exclude, dedupe_eps))
+
+    def submit_pairwise(self, queries: Sequence[TrajectoryLike],
+                        database: Optional[Sequence[TrajectoryLike]] = None):
+        """Enqueue a pairwise block; returns a Future of the ``(|Q|, |D|)``
+        matrix. Calls with ``database=None`` (the service database)
+        coalesce into one stacked service call per flush."""
+        batch = [as_points(t) for t in _as_batch(queries)]
+        return self._enqueue((_PAIRWISE, batch, database))
+
+    def _enqueue(self, entry):
         from concurrent.futures import Future
 
-        points = as_points(query)
         future = Future()
         with self._condition:
             if self._closed:
                 raise RuntimeError("queue is closed")
-            self._pending.append((future, points, k, exclude, dedupe_eps))
+            self._pending.append((future,) + entry)
             self._condition.notify_all()
         return future
 
@@ -483,6 +524,12 @@ class QueryQueue:
             timeout: Optional[float] = None):
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(query, k, exclude, dedupe_eps).result(timeout)
+
+    def pairwise(self, queries: Sequence[TrajectoryLike],
+                 database: Optional[Sequence[TrajectoryLike]] = None,
+                 timeout: Optional[float] = None):
+        """Blocking convenience wrapper around :meth:`submit_pairwise`."""
+        return self.submit_pairwise(queries, database).result(timeout)
 
     @property
     def stats(self) -> QueueStats:
@@ -516,39 +563,82 @@ class QueryQueue:
             self._flush(batch)
 
     def _flush(self, batch) -> None:
-        from concurrent.futures import InvalidStateError
-
-        groups: "Dict[Tuple, List]" = {}
+        knn_groups: "Dict[Tuple, List]" = {}
+        shared_pairwise: List = []   # database=None → coalescable
+        adhoc_pairwise: List = []    # explicit database → one call each
         for item in batch:
-            future, points, k, exclude, dedupe_eps = item
+            future, kind = item[0], item[1]
             if not future.set_running_or_notify_cancel():
                 continue  # the caller cancelled while the query was pending
-            groups.setdefault((k, exclude, dedupe_eps), []).append(
-                (future, points)
-            )
-        for (k, exclude, dedupe_eps), members in groups.items():
+            if kind == _KNN:
+                _, _, points, k, exclude, dedupe_eps = item
+                knn_groups.setdefault((k, exclude, dedupe_eps), []).append(
+                    (future, points)
+                )
+            else:
+                _, _, queries, database = item
+                if database is None:
+                    shared_pairwise.append((future, queries))
+                else:
+                    adhoc_pairwise.append((future, queries, database))
+        for (k, exclude, dedupe_eps), members in knn_groups.items():
             futures = [future for future, _ in members]
             queries = [points for _, points in members]
-            try:
-                distances, indices = self.service.knn(
-                    queries, k=k, exclude=exclude, dedupe_eps=dedupe_eps
-                )
-            except Exception as error:  # propagate to every caller
-                for future in futures:
-                    try:
-                        future.set_exception(error)
-                    except InvalidStateError:
-                        pass
-                continue
-            with self._condition:
-                self._queries += len(members)
-                self._batches += 1
-                self._largest_batch = max(self._largest_batch, len(members))
-            for row, future in enumerate(futures):
+            rows = self._serve(
+                futures,
+                lambda: self.service.knn(queries, k=k, exclude=exclude,
+                                         dedupe_eps=dedupe_eps),
+            )
+            if rows is not None:
+                distances, indices = rows
+                self._resolve(futures, [(distances[i], indices[i])
+                                        for i in range(len(futures))],
+                              queries=len(futures))
+        if shared_pairwise:
+            futures = [future for future, _ in shared_pairwise]
+            counts = [len(queries) for _, queries in shared_pairwise]
+            stacked = [points for _, queries in shared_pairwise
+                       for points in queries]
+            matrix = self._serve(futures,
+                                 lambda: self.service.pairwise(stacked))
+            if matrix is not None:
+                results, offset = [], 0
+                for count in counts:
+                    results.append(matrix[offset:offset + count])
+                    offset += count
+                self._resolve(futures, results, queries=len(stacked))
+        for future, queries, database in adhoc_pairwise:
+            matrix = self._serve(
+                [future], lambda: self.service.pairwise(queries, database))
+            if matrix is not None:
+                self._resolve([future], [matrix], queries=len(queries))
+
+    def _serve(self, futures, call):
+        """Run one service call; on failure fail every waiting future."""
+        from concurrent.futures import InvalidStateError
+
+        try:
+            return call()
+        except Exception as error:  # propagate to every caller
+            for future in futures:
                 try:
-                    future.set_result((distances[row], indices[row]))
+                    future.set_exception(error)
                 except InvalidStateError:
-                    pass  # must never kill the flush thread
+                    pass
+            return None
+
+    def _resolve(self, futures, results, queries: int) -> None:
+        from concurrent.futures import InvalidStateError
+
+        with self._condition:
+            self._queries += queries
+            self._batches += 1
+            self._largest_batch = max(self._largest_batch, queries)
+        for future, result in zip(futures, results):
+            try:
+                future.set_result(result)
+            except InvalidStateError:
+                pass  # must never kill the flush thread
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -1,0 +1,390 @@
+"""Framed-message transports and the request/response dispatcher.
+
+Every hop in the serving stack — parent process to shard worker, TCP
+client to :class:`~repro.api.remote.SimilarityServer`, asyncio caller to
+the same server — speaks one wire protocol: a *message* is any picklable
+object, a *frame* is an 8-byte big-endian length prefix followed by the
+pickle. The abstractions here keep the callers transport-oblivious:
+
+* :class:`Transport` — the ``send``/``recv``/``poll``/``close`` contract;
+* :class:`PipeTransport` — a :mod:`multiprocessing` pipe endpoint (the
+  pipe does its own framing; this adapter only normalizes errors);
+* :class:`SocketTransport` — the same messages as explicit frames over a
+  TCP socket, shared byte-for-byte with the asyncio client;
+* :class:`ServiceNode` — the request/response loop a worker or server
+  connection runs: receive ``(command, payload)``, dispatch to a handler,
+  reply ``("ok", result)`` or ``("error", traceback)``;
+* :func:`request` / :func:`broadcast` — the matching caller side, with
+  the drain-every-reply-before-raising discipline that keeps a multi-peer
+  RPC in sync after a failure.
+
+:class:`~repro.api.serving.ShardedSimilarityService` and
+:class:`~repro.api.remote.SimilarityServer` are both thin layers over
+these pieces; neither owns any framing or dispatch logic of its own.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+__all__ = [
+    "TransportError",
+    "TransportClosed",
+    "FrameError",
+    "RemoteCallError",
+    "Transport",
+    "PipeTransport",
+    "SocketTransport",
+    "ServiceNode",
+    "encode_frame",
+    "decode_payload",
+    "request",
+    "broadcast",
+    "FRAME_HEADER",
+    "MAX_FRAME_BYTES",
+]
+
+#: length prefix of a socket frame: 8-byte unsigned big-endian
+FRAME_HEADER = struct.Struct(">Q")
+
+#: refuse frames larger than this (a garbage header must not trigger a
+#: multi-terabyte read; 1 GiB comfortably holds any real payload here)
+MAX_FRAME_BYTES = 1 << 30
+
+
+class TransportError(ConnectionError):
+    """Base class for transport failures."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed the connection (EOF, broken pipe)."""
+
+
+class FrameError(TransportError):
+    """The byte stream does not parse as a frame (malformed or truncated)."""
+
+
+class RemoteCallError(RuntimeError):
+    """The peer executed the request and reported a failure."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(message) -> bytes:
+    """One wire frame: length prefix + pickled message."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes):
+    """Unpickle a frame payload, normalizing failures to :class:`FrameError`."""
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise FrameError(f"frame payload does not unpickle: {error}") from error
+
+
+def frame_length(header: bytes) -> int:
+    """Parse and validate a frame header."""
+    if len(header) != FRAME_HEADER.size:
+        raise FrameError(
+            f"frame header is {len(header)} bytes, expected {FRAME_HEADER.size}"
+        )
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class Transport(Protocol):
+    """A bidirectional message channel (blocking, one peer)."""
+
+    def send(self, message) -> None:
+        """Deliver one message to the peer."""
+        ...
+
+    def recv(self):
+        """Block for the peer's next message."""
+        ...
+
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        """True when :meth:`recv` would not block."""
+        ...
+
+    def close(self) -> None:
+        """Release the channel (idempotent)."""
+        ...
+
+
+class PipeTransport:
+    """A :mod:`multiprocessing` pipe endpoint as a :class:`Transport`.
+
+    The pipe's own pickling already frames messages; this adapter adds the
+    uniform error vocabulary (``EOFError``/``OSError`` become
+    :class:`TransportClosed`) so callers never special-case the medium.
+    Instances survive being passed as :class:`multiprocessing.Process`
+    arguments — the embedded connection uses the standard reduction.
+    """
+
+    def __init__(self, connection):
+        self._connection = connection
+        self._closed = False
+
+    @classmethod
+    def pair(cls, context=None) -> Tuple["PipeTransport", "PipeTransport"]:
+        """A connected ``(parent, child)`` transport pair."""
+        if context is None:
+            import multiprocessing as context
+        left, right = context.Pipe()
+        return cls(left), cls(right)
+
+    def send(self, message) -> None:
+        try:
+            self._connection.send(message)
+        except (BrokenPipeError, EOFError, OSError) as error:
+            raise TransportClosed(str(error) or "pipe closed") from error
+
+    def recv(self):
+        try:
+            return self._connection.recv()
+        except (EOFError, OSError) as error:
+            raise TransportClosed(str(error) or "pipe closed") from error
+        except (pickle.UnpicklingError, ValueError, IndexError,
+                ImportError, AttributeError) as error:
+            # The documented unpickling failure modes: the channel is
+            # intact but the message is not trustworthy.
+            raise FrameError(str(error)) from error
+
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        try:
+            return self._connection.poll(timeout)
+        except (EOFError, OSError):
+            # A dead peer is "readable": recv() will raise TransportClosed.
+            return True
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._connection.close()
+
+
+class SocketTransport:
+    """Framed messages over a connected TCP socket.
+
+    The frame layout (8-byte big-endian length, pickled payload) is shared
+    with :class:`~repro.api.remote.AsyncSimilarityClient`, so a server
+    never knows whether a thread or an event loop sits at the other end.
+    """
+
+    def __init__(self, sock):
+        self._socket = sock
+        self._closed = False
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, timeout: Optional[float] = None
+    ) -> "SocketTransport":
+        import socket as socket_module
+
+        sock = socket_module.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock)
+
+    def send(self, message) -> None:
+        try:
+            self._socket.sendall(encode_frame(message))
+        except OSError as error:
+            raise TransportClosed(str(error) or "socket closed") from error
+
+    def _read_exactly(self, n: int, *, header: bool) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._socket.recv(remaining)
+            except OSError as error:
+                raise TransportClosed(str(error) or "socket closed") from error
+            if not chunk:
+                if remaining == n and header:
+                    # Clean EOF between frames: the peer hung up politely.
+                    raise TransportClosed("peer closed the connection")
+                raise FrameError(
+                    f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self):
+        length = frame_length(
+            self._read_exactly(FRAME_HEADER.size, header=True)
+        )
+        return decode_payload(self._read_exactly(length, header=False))
+
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        import select
+
+        try:
+            readable, _, _ = select.select([self._socket], [], [], timeout)
+        except OSError:
+            return True  # recv() will surface the real error
+        return bool(readable)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        import socket as socket_module
+
+        try:
+            self._socket.shutdown(socket_module.SHUT_RDWR)
+        except OSError:
+            pass
+        self._socket.close()
+
+
+# ----------------------------------------------------------------------
+# Request/response
+# ----------------------------------------------------------------------
+#: replies are ``(status, result)`` with one of these statuses
+OK = "ok"
+ERROR = "error"
+
+#: the conventional shutdown command a ServiceNode honours
+STOP = "stop"
+
+
+def read_reply(transport: Transport, who: str = "peer"):
+    """One reply off the transport; raises :class:`RemoteCallError` on error."""
+    status, result = transport.recv()
+    if status != OK:
+        raise RemoteCallError(f"{who} failed:\n{result}")
+    return result
+
+
+def request(transport: Transport, command: str, payload=None,
+            who: str = "peer"):
+    """One round-trip: send ``(command, payload)``, return the ok-result."""
+    transport.send((command, payload))
+    return read_reply(transport, who)
+
+
+def broadcast(transports: Sequence[Transport], command: str,
+              payloads: Sequence, who: str = "peer") -> List:
+    """Fan one command out over many peers, then gather every reply.
+
+    All sends complete before the first recv so the peers work
+    concurrently; *every* peer's reply is read (or its transport failure
+    recorded) before any error is raised — leaving a reply buffered in a
+    channel would desynchronize the RPC for all later commands on that
+    peer. Transport-level failures surface as :class:`RemoteCallError`
+    alongside peer-reported ones.
+    """
+    for transport, payload in zip(transports, payloads):
+        transport.send((command, payload))
+    results, failures = [], []
+    for transport in transports:
+        try:
+            status, result = transport.recv()
+        except TransportError as error:
+            failures.append(f"transport failure: {error}")
+            results.append(None)
+            continue
+        if status != OK:
+            failures.append(result)
+            results.append(None)
+        else:
+            results.append(result)
+    if failures:
+        raise RemoteCallError(f"{who} failed:\n" + "\n".join(failures))
+    return results
+
+
+class ServiceNode:
+    """The serving end of the RPC: one transport, one dispatch table.
+
+    Runs the receive → dispatch → reply loop that shard workers and
+    server connections share. Handler exceptions become ``("error",
+    traceback)`` replies and the loop continues — one bad request must
+    not take the node down. Transport-level failures (peer gone,
+    malformed frame) end the loop instead: once the byte stream cannot
+    be trusted, silence is the only safe reply.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        handlers: Dict[str, Callable],
+        *,
+        stop_command: str = STOP,
+        should_stop: Optional[Callable[[], bool]] = None,
+        poll_interval: float = 0.1,
+        on_request: Optional[Callable[[str], None]] = None,
+    ):
+        self.transport = transport
+        self.handlers = dict(handlers)
+        self.stop_command = stop_command
+        self._should_stop = should_stop
+        self._poll_interval = poll_interval
+        self._on_request = on_request
+
+    def serve_forever(self) -> None:
+        """Answer requests until stop, peer exit, or an unframeable stream."""
+        import traceback
+
+        while True:
+            if self._should_stop is not None:
+                # Cooperative shutdown: between requests, watch the flag
+                # instead of blocking in recv() forever. A request already
+                # buffered when the flag flips is still served — shutdown
+                # must not drop work the node has accepted.
+                while not self.transport.poll(self._poll_interval):
+                    if self._should_stop():
+                        return
+            try:
+                message = self.transport.recv()
+            except TransportClosed:
+                return
+            except FrameError as error:
+                # Best-effort diagnostic; the stream is unrecoverable.
+                try:
+                    self.transport.send((ERROR, f"malformed frame: {error}"))
+                except TransportError:
+                    pass
+                return
+            try:
+                command, payload = message
+            except (TypeError, ValueError):
+                self._reply((ERROR, f"malformed request: {message!r}"))
+                continue
+            if command == self.stop_command:
+                self._reply((OK, None))
+                return
+            handler = self.handlers.get(command)
+            if handler is None:
+                self._reply((ERROR, f"unknown command {command!r}"))
+                continue
+            if self._on_request is not None:
+                self._on_request(command)
+            try:
+                result = handler(payload)
+            except Exception:
+                self._reply((ERROR, traceback.format_exc()))
+                continue
+            self._reply((OK, result))
+
+    def _reply(self, reply) -> None:
+        try:
+            self.transport.send(reply)
+        except TransportError:
+            # The peer vanished between request and reply; nothing to do —
+            # the loop will notice on the next recv().
+            pass

@@ -12,9 +12,15 @@ Exposes the library's main workflows without writing code:
   paper's §V-B protocol;
 * ``knn``       — k-nearest-neighbour queries through the
   :class:`repro.api.SimilarityService` (``--workers`` shards the database
-  across processes, ``--batch-wait`` routes through the query batcher);
-* ``serve-bench`` — serving-throughput sweep (queries/sec by worker count,
-  batched vs unbatched) written to a JSON record.
+  across processes, ``--batch-wait`` routes through the query batcher,
+  ``--remote host:port`` queries a running ``serve`` instance instead of
+  building a local service);
+* ``serve``     — expose a similarity service on a TCP port
+  (:class:`repro.api.SimilarityServer`); composes with ``--workers`` and
+  ``--batch-wait`` exactly like ``knn``;
+* ``serve-bench`` — serving-throughput sweep (queries/sec in-process by
+  worker count and batching, plus remote and asyncio clients) merged
+  scenario-by-scenario into a JSON record.
 
 Every similarity method is resolved by name through :mod:`repro.api`;
 ``evaluate`` and ``knn`` accept ``--backend`` with any name from
@@ -183,11 +189,8 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
-def cmd_knn(args) -> int:
-    from .api import QueryQueue, ShardedSimilarityService, SimilarityService
-
-    database = _load_trajectories(args.data)
-    backend = _resolve_backend(args.backend, args, database)
+def _index_from_args(args):
+    """``(index, index_kwargs)`` shared by the ``knn`` and ``serve`` paths."""
     index_kwargs = {}
     index = None  # service default: bruteforce / segment / pairwise scan
     if args.index == "ivf":
@@ -198,6 +201,27 @@ def cmd_knn(args) -> int:
                         "seed": args.seed}
     elif args.index != "auto":
         index = args.index
+    return index, index_kwargs
+
+
+def _print_neighbours(header: str, unit: str, distances, neighbors) -> None:
+    print(header)
+    shown = 0
+    for distance, neighbor in zip(distances[0], neighbors[0]):
+        if neighbor < 0:
+            break  # database smaller than k
+        shown += 1
+        print(f"  #{shown}: trajectory {neighbor} ({unit} {distance:.3f})")
+
+
+def cmd_knn(args) -> int:
+    from .api import QueryQueue, ShardedSimilarityService, SimilarityService
+
+    database = _load_trajectories(args.data)
+    if getattr(args, "remote", None):
+        return _knn_remote(args, database)
+    backend = _resolve_backend(args.backend, args, database)
+    index, index_kwargs = _index_from_args(args)
 
     if args.workers > 1:
         service = ShardedSimilarityService(
@@ -230,42 +254,94 @@ def cmd_knn(args) -> int:
             service.close()
     unit = "L1 distance" if backend.kind == "embedding" else f"{backend.name} distance"
     workers_label = f", workers {args.workers}" if args.workers > 1 else ""
-    print(f"{args.k}NN of trajectory {args.query} "
-          f"(backend {backend.name}, index {index_label}{workers_label}):")
-    shown = 0
-    for distance, neighbor in zip(distances[0], neighbors[0]):
-        if neighbor < 0:
-            break  # database smaller than k
-        shown += 1
-        print(f"  #{shown}: trajectory {neighbor} ({unit} {distance:.3f})")
+    _print_neighbours(
+        f"{args.k}NN of trajectory {args.query} "
+        f"(backend {backend.name}, index {index_label}{workers_label}):",
+        unit, distances, neighbors,
+    )
     return 0
 
 
-def cmd_serve_bench(args) -> int:
-    """Serving-throughput benchmark: queries/sec by worker count and mode."""
-    import json
+def _knn_remote(args, database) -> int:
+    """``knn --remote host:port``: query a running ``serve`` instance."""
+    from .api import RemoteSimilarityClient
 
-    from .api import (
-        QueryQueue, ShardedSimilarityService, SimilarityService, get_backend,
+    with RemoteSimilarityClient(args.remote) as client:
+        distances, neighbors = client.knn(
+            database[args.query], k=args.k, exclude=args.query,
+        )
+        stats = client.stats()
+    # A server over a QueryQueue reports the queue's counters with the
+    # wrapped service's metadata nested under "service".
+    service_info = stats.get("service", stats)
+    backend_name = service_info.get("backend", "?")
+    index_label = service_info.get("index", "?")
+    unit = ("L1 distance" if service_info.get("kind") == "embedding"
+            else f"{backend_name} distance")
+    _print_neighbours(
+        f"{args.k}NN of trajectory {args.query} "
+        f"(backend {backend_name}, index {index_label}, "
+        f"remote {args.remote}):",
+        unit, distances, neighbors,
     )
-    from .eval import format_table
+    return 0
 
-    if args.data:
-        database = _load_trajectories(args.data)
-    else:
-        from .datasets import generate_city, get_preset
 
-        database = generate_city(get_preset(args.city), args.count,
-                                 seed=args.seed)
-    if args.backend == "trajcl" and not getattr(args, "checkpoint", None):
-        # Self-contained path: a small model trained on the database keeps
-        # `make serve-bench` runnable without any prior artifacts.
-        backend = get_backend("trajcl", trajectories=database, dim=16,
-                              max_len=32, epochs=args.train_epochs,
-                              seed=args.seed)
+def cmd_serve(args) -> int:
+    """Expose a similarity service over TCP (``repro serve``)."""
+    from .api import (
+        QueryQueue, ShardedSimilarityService, SimilarityServer,
+        SimilarityService,
+    )
+
+    database = _load_trajectories(args.data)
+    backend = _resolve_backend(args.backend, args, database)
+    index, index_kwargs = _index_from_args(args)
+    if args.workers > 1:
+        service = ShardedSimilarityService(
+            backend=backend, index=index, num_workers=args.workers,
+            index_kwargs=index_kwargs,
+        )
     else:
-        backend = _resolve_backend(args.backend, args, database)
-    queries = database[:min(args.queries, len(database))]
+        service = SimilarityService(backend=backend, index=index,
+                                    index_kwargs=index_kwargs)
+    queue = None
+    server = None
+    try:
+        service.add(database)
+        stack = service
+        if args.batch_wait > 0:
+            queue = QueryQueue(service, max_batch=args.max_batch,
+                               max_wait=args.batch_wait)
+            stack = queue
+        server = SimilarityServer(stack, host=args.host, port=args.port,
+                                  max_requests=args.max_requests)
+        host, port = server.address
+        print(f"serving backend {backend.name} "
+              f"({len(database)} trajectories) on {host}:{port}",
+              flush=True)
+        if args.ready_file:
+            # Written only after the port is bound: a launcher (tests,
+            # `make serve-smoke`) polls this file instead of racing accept.
+            with open(args.ready_file, "w") as handle:
+                handle.write(f"{host}:{port}\n")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+    finally:
+        if server is not None:
+            server.close()
+        if queue is not None:
+            queue.close()
+        if args.workers > 1:
+            service.close()
+    return 0
+
+
+def _bench_in_process(args, backend, database, queries) -> dict:
+    """queries/sec by worker count, direct vs through the QueryQueue."""
+    from .api import QueryQueue, ShardedSimilarityService, SimilarityService
 
     worker_counts = [int(w) for w in args.workers.split(",")]
     results = []
@@ -307,8 +383,123 @@ def cmd_serve_bench(args) -> int:
         finally:
             if workers > 1:
                 service.close()
+    return {"results": results}
 
-    payload = {
+
+def _bench_remote(args, backend, database, queries) -> dict:
+    """queries/sec over TCP: per-call round-trips and one batched call."""
+    from .api import RemoteSimilarityClient, SimilarityServer, SimilarityService
+
+    service = SimilarityService(backend=backend).add(database)
+    service.knn(queries, k=args.k)  # warm the cache like the other modes
+    with SimilarityServer(service) as server:
+        with RemoteSimilarityClient(*server.address) as client:
+            client.knn(queries[0], k=args.k)  # connection warm-up
+            start = time.perf_counter()
+            for _ in range(args.repeats):
+                for query in queries:
+                    client.knn(query, k=args.k)
+            per_call = args.repeats * len(queries) / (
+                time.perf_counter() - start)
+
+            start = time.perf_counter()
+            for _ in range(args.repeats):
+                client.knn(queries, k=args.k)
+            batched = args.repeats * len(queries) / (
+                time.perf_counter() - start)
+    return {"results": {"qps": round(per_call, 2),
+                        "batched_qps": round(batched, 2)}}
+
+
+def _bench_async(args, backend, database, queries) -> dict:
+    """queries/sec from concurrent asyncio clients against one server."""
+    import asyncio
+
+    from .api import AsyncSimilarityClient, SimilarityServer, SimilarityService
+
+    service = SimilarityService(backend=backend).add(database)
+    service.knn(queries, k=args.k)
+    connections = max(1, args.connections)
+
+    async def run(address):
+        clients = [await AsyncSimilarityClient.connect(address)
+                   for _ in range(connections)]
+        await clients[0].knn(queries[0], k=args.k)  # warm-up round-trip
+        start = time.perf_counter()
+        for _ in range(args.repeats):
+            await asyncio.gather(*(
+                clients[i % connections].knn(query, k=args.k)
+                for i, query in enumerate(queries)
+            ))
+        elapsed = time.perf_counter() - start
+        for client in clients:
+            await client.close()
+        return args.repeats * len(queries) / elapsed
+
+    with SimilarityServer(service) as server:
+        qps = asyncio.run(run(server.address))
+    return {"results": {"qps": round(qps, 2), "connections": connections}}
+
+
+def merge_bench_scenarios(existing: Optional[dict], scenarios: dict,
+                          config: dict) -> dict:
+    """Merge a serve-bench run into a prior record, keyed by scenario.
+
+    Scenarios not re-run this time survive untouched, so the perf
+    trajectory across PRs accumulates instead of resetting. A pre-scenario
+    record (the original flat ``serve-bench`` payload) is migrated to an
+    ``in_process`` scenario first rather than dropped.
+    """
+    merged = dict(existing or {})
+    if "scenarios" not in merged:
+        legacy = {key: value for key, value in merged.items()}
+        merged = {"scenarios": {}}
+        if legacy:
+            merged["scenarios"]["in_process"] = {
+                "results": legacy.pop("results", []),
+                "config": legacy,
+            }
+    for name, payload in scenarios.items():
+        merged["scenarios"][name] = {**payload, "config": config}
+    return merged
+
+
+def cmd_serve_bench(args) -> int:
+    """Serving-throughput benchmark across serving modes (scenarios)."""
+    import json
+    import os
+
+    from .api import get_backend
+    from .eval import format_table
+
+    if args.data:
+        database = _load_trajectories(args.data)
+    else:
+        from .datasets import generate_city, get_preset
+
+        database = generate_city(get_preset(args.city), args.count,
+                                 seed=args.seed)
+    if args.backend == "trajcl" and not getattr(args, "checkpoint", None):
+        # Self-contained path: a small model trained on the database keeps
+        # `make serve-bench` runnable without any prior artifacts.
+        backend = get_backend("trajcl", trajectories=database, dim=16,
+                              max_len=32, epochs=args.train_epochs,
+                              seed=args.seed)
+    else:
+        backend = _resolve_backend(args.backend, args, database)
+    queries = database[:min(args.queries, len(database))]
+
+    runners = {"in_process": _bench_in_process, "remote": _bench_remote,
+               "async": _bench_async}
+    names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    unknown = [name for name in names if name not in runners]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s) {unknown}; "
+                         f"choose from {sorted(runners)}")
+    scenarios = {name: runners[name](args, backend, database, queries)
+                 for name in names}
+
+    config = {
         "backend": backend.name,
         "database_size": len(database),
         "queries": len(queries),
@@ -316,16 +507,34 @@ def cmd_serve_bench(args) -> int:
         "repeats": args.repeats,
         "max_batch": args.max_batch,
         "batch_wait": args.batch_wait,
-        "results": results,
     }
     if args.output:
+        existing = None
+        if os.path.exists(args.output):
+            try:
+                with open(args.output) as handle:
+                    existing = json.load(handle)
+            except (OSError, ValueError):
+                existing = None
+        merged = merge_bench_scenarios(existing, scenarios, config)
         with open(args.output, "w") as handle:
-            json.dump(payload, handle, indent=2)
-    print(format_table(
-        ["workers", "unbatched q/s", "batched q/s", "batches", "largest"],
-        [[r["workers"], r["unbatched_qps"], r["batched_qps"], r["batches"],
-          r["largest_batch"]] for r in results],
-    ))
+            json.dump(merged, handle, indent=2)
+
+    if "in_process" in scenarios:
+        rows = scenarios["in_process"]["results"]
+        print(format_table(
+            ["workers", "unbatched q/s", "batched q/s", "batches", "largest"],
+            [[r["workers"], r["unbatched_qps"], r["batched_qps"],
+              r["batches"], r["largest_batch"]] for r in rows],
+        ))
+    if "remote" in scenarios:
+        remote = scenarios["remote"]["results"]
+        print(f"remote: {remote['qps']} q/s per-call, "
+              f"{remote['batched_qps']} q/s batched")
+    if "async" in scenarios:
+        result = scenarios["async"]["results"]
+        print(f"async: {result['qps']} q/s "
+              f"over {result['connections']} connections")
     if args.output:
         print(f"written to {args.output}")
     return 0
@@ -405,8 +614,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-wait", type=float, default=0.0,
                    help="route the query through a batching QueryQueue "
                         "with this coalescing window in seconds (0: direct)")
+    p.add_argument("--remote", metavar="HOST:PORT",
+                   help="query a running `repro serve` instance instead of "
+                        "building a local service (--data still supplies "
+                        "the query trajectory)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_knn)
+
+    p = sub.add_parser("serve",
+                       help="serve kNN/pairwise queries over TCP")
+    p.add_argument("--checkpoint", help="TrajCL checkpoint "
+                   "(required for --backend trajcl)")
+    p.add_argument("--data", required=True,
+                   help="trajectories .npz served as the database")
+    p.add_argument("--backend", default="trajcl",
+                   help="backend name (see 'backends'; default: trajcl)")
+    p.add_argument("--index", default="auto",
+                   choices=["auto", "bruteforce", "ivf", "segment"],
+                   help="kNN index (auto: exact default for the backend)")
+    p.add_argument("--lists", type=int, default=16, help="IVF lists")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0: pick an ephemeral port and print it)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the database across this many worker "
+                        "processes (1: single-process service)")
+    p.add_argument("--batch-wait", type=float, default=0.0,
+                   help="coalesce concurrent remote queries through a "
+                        "QueryQueue with this window in seconds (0: direct)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="QueryQueue flush size when --batch-wait > 0")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="shut down after serving this many requests "
+                        "(smoke tests; default: serve until interrupted)")
+    p.add_argument("--ready-file",
+                   help="write 'host:port' here once the server is "
+                        "listening (for launchers that must not race)")
+    p.add_argument("--train-epochs", type=int, default=1,
+                   help="training epochs for learned non-trajcl backends")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("serve-bench",
                        help="serving throughput: q/s by workers and batching")
@@ -427,10 +674,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--max-batch", type=int, default=64)
     p.add_argument("--batch-wait", type=float, default=0.005)
+    p.add_argument("--scenarios", default="in_process,remote,async",
+                   help="comma-separated subset of in_process/remote/async; "
+                        "scenarios not re-run keep their previous numbers "
+                        "in --output")
+    p.add_argument("--connections", type=int, default=4,
+                   help="concurrent asyncio connections in the async "
+                        "scenario")
     p.add_argument("--train-epochs", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--output", help="write the result JSON here "
-                                    "(e.g. benchmarks/results/BENCH_serving.json)")
+    p.add_argument("--output", help="merge the result JSON here, keyed by "
+                                    "scenario (e.g. benchmarks/results/"
+                                    "BENCH_serving.json)")
     p.set_defaults(func=cmd_serve_bench)
     return parser
 

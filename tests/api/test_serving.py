@@ -140,7 +140,7 @@ class TestShardedParity:
                                             trajectories):
         # A failing command must drain every shard's reply before raising,
         # or the next command would read a stale buffered response.
-        with pytest.raises(RuntimeError, match="unknown shard command"):
+        with pytest.raises(RuntimeError, match="unknown command"):
             sharded_service._broadcast(
                 "no-such-command", [None] * sharded_service.num_workers)
         assert sum(sharded_service._broadcast(
@@ -160,6 +160,29 @@ class TestShardedParity:
         service.close()  # idempotent
         with pytest.raises(RuntimeError, match="closed"):
             service.add(trajectories)
+
+    def test_close_survives_a_dead_worker(self, trajectories):
+        """close() must stay bounded when a worker already died — reap it,
+        never hang on the handshake or the join."""
+        import time
+
+        service = ShardedSimilarityService(backend="hausdorff",
+                                           num_workers=2)
+        service.add(trajectories)
+        victim = service._processes[0]
+        victim.terminate()
+        victim.join(timeout=5)
+        start = time.monotonic()
+        service.close()
+        assert time.monotonic() - start < 10.0
+        service.close()  # still idempotent afterwards
+        assert all(not p.is_alive() for p in service._processes)
+
+    def test_stats(self, sharded_service, trajectories):
+        stats = sharded_service.stats()
+        assert stats["workers"] == 3
+        assert stats["size"] == len(trajectories)
+        assert sum(stats["shard_sizes"]) == len(trajectories)
 
 
 class TestQueryQueue:
@@ -260,3 +283,82 @@ class TestQueryQueue:
             QueryQueue(single_service, max_batch=0)
         with pytest.raises(ValueError, match="max_wait"):
             QueryQueue(single_service, max_wait=-1.0)
+
+
+class TestQueuePairwise:
+    def test_concurrent_pairwise_coalesce_into_one_call(self, single_service,
+                                                        trajectories):
+        calls = []
+        original = single_service.pairwise
+
+        def counting_pairwise(queries, database=None):
+            calls.append(len(queries))
+            return original(queries, database)
+
+        full = original(trajectories[:6])
+        single_service.pairwise = counting_pairwise
+        try:
+            with QueryQueue(single_service, max_batch=16,
+                            max_wait=0.5) as queue:
+                futures = [queue.submit_pairwise(trajectories[i])
+                           for i in range(6)]
+                rows = [f.result(timeout=30) for f in futures]
+        finally:
+            single_service.pairwise = original
+        # One stacked service call for the whole burst (at most one
+        # straggler flush), not six.
+        assert len(calls) <= 2
+        assert sum(calls) == 6
+        for i, block in enumerate(rows):
+            assert block.shape == (1, len(trajectories))
+            np.testing.assert_allclose(block[0], full[i])
+
+    def test_multi_query_blocks_split_correctly(self, single_service,
+                                                trajectories):
+        with QueryQueue(single_service, max_batch=16, max_wait=0.5) as queue:
+            first = queue.submit_pairwise(trajectories[:2])
+            second = queue.submit_pairwise(trajectories[2:5])
+            a = first.result(timeout=30)
+            b = second.result(timeout=30)
+        full = single_service.pairwise(trajectories[:5])
+        np.testing.assert_allclose(a, full[:2])
+        np.testing.assert_allclose(b, full[2:5])
+
+    def test_explicit_database_is_served_unshared(self, single_service,
+                                                  trajectories):
+        with QueryQueue(single_service, max_wait=0.05) as queue:
+            block = queue.pairwise(trajectories[:2], trajectories[5:9],
+                                   timeout=30)
+        np.testing.assert_allclose(
+            block, single_service.pairwise(trajectories[:2],
+                                           trajectories[5:9]))
+
+    def test_mixed_knn_and_pairwise_batch(self, single_service, trajectories):
+        with QueryQueue(single_service, max_batch=16, max_wait=0.3) as queue:
+            knn_future = queue.submit(trajectories[0], k=3)
+            matrix_future = queue.submit_pairwise(trajectories[1])
+            row_d, row_i = knn_future.result(timeout=30)
+            block = matrix_future.result(timeout=30)
+        exp_d, exp_i = single_service.knn(trajectories[0], k=3)
+        np.testing.assert_array_equal(row_i, exp_i[0])
+        np.testing.assert_allclose(block,
+                                   single_service.pairwise(trajectories[1]))
+
+    def test_pairwise_over_sharded_service(self, sharded_service,
+                                           single_service, trajectories):
+        with QueryQueue(sharded_service, max_batch=8, max_wait=0.05) as queue:
+            futures = [queue.submit_pairwise(trajectories[i])
+                       for i in range(4)]
+            rows = [f.result(timeout=30) for f in futures]
+        full = single_service.pairwise(trajectories[:4])
+        for i, block in enumerate(rows):
+            np.testing.assert_allclose(block[0], full[i])
+
+    def test_pairwise_errors_propagate(self, single_service):
+        with QueryQueue(single_service, max_wait=0.01) as queue:
+            future = queue.submit_pairwise(
+                np.zeros((3, 2)), database=object())  # unusable database
+            with pytest.raises(Exception):
+                future.result(timeout=30)
+        # The flush thread survived the failure.
+        assert queue.stats.batches >= 0

@@ -1,0 +1,256 @@
+"""Tests for the framed-message transport layer: codecs, pipe/socket
+transports, the ServiceNode dispatcher, and the broadcast discipline."""
+
+import pickle
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api.transport import (
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    FrameError,
+    PipeTransport,
+    RemoteCallError,
+    ServiceNode,
+    SocketTransport,
+    TransportClosed,
+    broadcast,
+    decode_payload,
+    encode_frame,
+    frame_length,
+    request,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = ("knn", {"queries": np.arange(6).reshape(3, 2), "k": 2})
+        frame = encode_frame(message)
+        length = frame_length(frame[:FRAME_HEADER.size])
+        assert length == len(frame) - FRAME_HEADER.size
+        command, payload = decode_payload(frame[FRAME_HEADER.size:])
+        assert command == "knn"
+        np.testing.assert_array_equal(payload["queries"],
+                                      np.arange(6).reshape(3, 2))
+
+    def test_header_must_be_exact(self):
+        with pytest.raises(FrameError, match="header"):
+            frame_length(b"\x00\x01")
+
+    def test_oversized_frame_is_refused(self):
+        header = FRAME_HEADER.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError, match="exceeds"):
+            frame_length(header)
+
+    def test_garbage_payload_is_a_frame_error(self):
+        with pytest.raises(FrameError, match="unpickle"):
+            decode_payload(b"this is not a pickle")
+
+
+def socket_transport_pair():
+    left, right = socket.socketpair()
+    return SocketTransport(left), SocketTransport(right)
+
+
+@pytest.fixture(params=["pipe", "socket"])
+def transport_pair(request):
+    if request.param == "pipe":
+        left, right = PipeTransport.pair()
+    else:
+        left, right = socket_transport_pair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestTransports:
+    def test_send_recv_preserves_arrays(self, transport_pair):
+        left, right = transport_pair
+        payload = np.random.default_rng(0).normal(size=(4, 3))
+        left.send(("ok", payload))
+        status, received = right.recv()
+        assert status == "ok"
+        assert received.tobytes() == payload.tobytes()
+
+    def test_poll(self, transport_pair):
+        left, right = transport_pair
+        assert not right.poll(0.01)
+        left.send("ping")
+        assert right.poll(1.0)
+        assert right.recv() == "ping"
+
+    def test_recv_after_peer_close_raises_closed(self, transport_pair):
+        left, right = transport_pair
+        left.close()
+        with pytest.raises(TransportClosed):
+            right.recv()
+
+    def test_close_is_idempotent(self, transport_pair):
+        left, _right = transport_pair
+        left.close()
+        left.close()
+
+
+class TestSocketFraming:
+    def test_truncated_frame_is_a_frame_error(self):
+        left, right = socket.socketpair()
+        transport = SocketTransport(right)
+        # A header promising 100 bytes, then only 3 and EOF.
+        left.sendall(FRAME_HEADER.pack(100) + b"abc")
+        left.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            transport.recv()
+        transport.close()
+
+    def test_clean_eof_between_frames_is_closed(self):
+        left, right = socket.socketpair()
+        transport = SocketTransport(right)
+        left.sendall(encode_frame("hello"))
+        left.close()
+        assert transport.recv() == "hello"
+        with pytest.raises(TransportClosed):
+            transport.recv()
+        transport.close()
+
+
+def run_node(transport, handlers, **kwargs):
+    node = ServiceNode(transport, handlers, **kwargs)
+    thread = threading.Thread(target=node.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestServiceNode:
+    def test_dispatch_and_stop(self):
+        caller, server = PipeTransport.pair()
+        thread = run_node(server, {"double": lambda x: 2 * x})
+        assert request(caller, "double", 21) == 42
+        caller.send(("stop", None))
+        assert caller.recv() == ("ok", None)
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+    def test_handler_error_is_reported_and_survived(self):
+        def boom(_payload):
+            raise ValueError("intentional")
+
+        caller, server = PipeTransport.pair()
+        run_node(server, {"boom": boom, "ping": lambda _: "pong"})
+        with pytest.raises(RemoteCallError, match="intentional"):
+            request(caller, "boom")
+        # The node must keep serving after a handler failure.
+        assert request(caller, "ping") == "pong"
+        caller.close()
+
+    def test_unknown_command(self):
+        caller, server = PipeTransport.pair()
+        run_node(server, {})
+        with pytest.raises(RemoteCallError, match="unknown command"):
+            request(caller, "nope")
+        caller.close()
+
+    def test_malformed_request_shape(self):
+        caller, server = PipeTransport.pair()
+        run_node(server, {"ping": lambda _: "pong"})
+        caller.send("not a 2-tuple")
+        status, detail = caller.recv()
+        assert status == "error" and "malformed request" in detail
+        assert request(caller, "ping") == "pong"
+        caller.close()
+
+    def test_peer_hangup_ends_the_loop(self):
+        caller, server = PipeTransport.pair()
+        thread = run_node(server, {})
+        caller.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+    def test_buffered_request_is_served_despite_stop_flag(self):
+        # A request the node has already accepted (buffered before the
+        # shutdown flag flipped) must be answered, not dropped.
+        stop = threading.Event()
+        caller, server = PipeTransport.pair()
+        caller.send(("ping", None))
+        stop.set()
+        thread = run_node(server, {"ping": lambda _: "pong"},
+                          should_stop=stop.is_set, poll_interval=0.01)
+        assert caller.recv() == ("ok", "pong")
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        caller.close()
+
+    def test_should_stop_ends_idle_loop(self):
+        stop = threading.Event()
+        caller, server = PipeTransport.pair()
+        thread = run_node(server, {"ping": lambda _: "pong"},
+                          should_stop=stop.is_set, poll_interval=0.01)
+        assert request(caller, "ping") == "pong"
+        stop.set()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        caller.close()
+
+
+class TestBroadcast:
+    def test_gathers_all_replies_before_raising(self):
+        pairs = [PipeTransport.pair() for _ in range(3)]
+        callers = [left for left, _ in pairs]
+
+        def handler(payload):
+            if payload == "bad":
+                raise RuntimeError("shard exploded")
+            return payload
+
+        for _, server in pairs:
+            run_node(server, {"echo": handler})
+        with pytest.raises(RemoteCallError, match="shard exploded"):
+            broadcast(callers, "echo", ["fine", "bad", "fine"],
+                      who="shard worker")
+        # Every reply was drained: the next broadcast stays in sync.
+        assert broadcast(callers, "echo", list("abc")) == ["a", "b", "c"]
+        for caller in callers:
+            caller.close()
+
+    def test_peer_death_during_gather_still_drains_the_rest(self):
+        # One peer hanging up instead of replying must not leave the
+        # other peers' replies buffered (that would desync later calls).
+        pairs = [PipeTransport.pair() for _ in range(3)]
+        callers = [left for left, _ in pairs]
+
+        def handler_for(transport, dies):
+            def handler(payload):
+                if dies:
+                    transport.close()  # vanish instead of replying
+                return payload
+            return handler
+
+        for i, (_, server) in enumerate(pairs):
+            run_node(server, {"echo": handler_for(server, i == 1)})
+        with pytest.raises(RemoteCallError, match="transport failure"):
+            broadcast(callers, "echo", ["a", "b", "c"])
+        # The surviving peers answered and were drained: still in sync.
+        assert broadcast([callers[0], callers[2]], "echo",
+                         ["x", "y"]) == ["x", "y"]
+        for caller in callers:
+            caller.close()
+
+    def test_who_names_the_failure(self):
+        caller, server = PipeTransport.pair()
+        run_node(server, {})
+        with pytest.raises(RemoteCallError, match="shard worker failed"):
+            broadcast([caller], "missing", [None], who="shard worker")
+        caller.close()
+
+
+class TestPipeUnpickling:
+    def test_unpicklable_bytes_surface_as_frame_error(self):
+        # Drive the raw connection underneath to inject garbage bytes.
+        left, right = PipeTransport.pair()
+        left._connection.send_bytes(b"\x80garbage that is not a pickle")
+        with pytest.raises((FrameError, TransportClosed)):
+            right.recv()
+        left.close()
+        right.close()

@@ -216,9 +216,78 @@ class TestServingCli:
                      "--output", out_path]) == 0
         printed = capsys.readouterr().out
         assert "unbatched q/s" in printed
+        assert "remote:" in printed and "async:" in printed
         payload = json.loads(open(out_path).read())
-        assert payload["backend"] == "hausdorff"
-        assert [r["workers"] for r in payload["results"]] == [1, 2]
-        for row in payload["results"]:
+        scenarios = payload["scenarios"]
+        assert set(scenarios) == {"in_process", "remote", "async"}
+        assert scenarios["in_process"]["config"]["backend"] == "hausdorff"
+        rows = scenarios["in_process"]["results"]
+        assert [r["workers"] for r in rows] == [1, 2]
+        for row in rows:
             assert row["unbatched_qps"] > 0
             assert row["batched_qps"] > 0
+        assert scenarios["remote"]["results"]["qps"] > 0
+        assert scenarios["remote"]["results"]["batched_qps"] > 0
+        assert scenarios["async"]["results"]["qps"] > 0
+
+    def test_serve_bench_merges_by_scenario(self, dataset_path, tmp_path,
+                                            capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_serving.json"
+        # A pre-scenario record (the PR 2 flat layout) must be migrated,
+        # not clobbered, when only other scenarios are re-run.
+        legacy = {"backend": "hausdorff", "database_size": 12,
+                  "results": [{"workers": 1, "unbatched_qps": 123.0,
+                               "batched_qps": 45.0, "batches": 1,
+                               "largest_batch": 4}]}
+        out_path.write_text(json.dumps(legacy))
+        assert main(["serve-bench", "--data", dataset_path,
+                     "--backend", "hausdorff", "--queries", "4", "--k", "2",
+                     "--repeats", "1", "--scenarios", "remote",
+                     "--output", str(out_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["scenarios"]["in_process"]["results"] == legacy["results"]
+        assert payload["scenarios"]["remote"]["results"]["qps"] > 0
+        assert "async" not in payload["scenarios"]
+
+    def test_serve_and_remote_knn(self, dataset_path, tmp_path, capsys):
+        import threading
+        import time
+
+        ready = tmp_path / "ready"
+        # knn --remote issues two requests (knn + stats); the server then
+        # trips max_requests and serve returns on its own.
+        server_argv = ["serve", "--data", dataset_path,
+                       "--backend", "hausdorff", "--port", "0",
+                       "--ready-file", str(ready), "--max-requests", "2"]
+        rc = {}
+        thread = threading.Thread(
+            target=lambda: rc.setdefault("serve", main(server_argv)))
+        thread.start()
+        try:
+            for _ in range(200):
+                if ready.exists():
+                    break
+                time.sleep(0.05)
+            address = ready.read_text().strip()
+            assert main(["knn", "--data", dataset_path, "--query", "1",
+                         "--k", "3", "--remote", address]) == 0
+            out = capsys.readouterr().out
+            assert "3NN of trajectory 1" in out
+            assert "backend hausdorff" in out
+            assert f"remote {address}" in out
+            # Remote answer matches the plain local CLI path.
+            assert main(["knn", "--data", dataset_path,
+                         "--backend", "hausdorff", "--query", "1",
+                         "--k", "3"]) == 0
+            local_out = capsys.readouterr().out
+            # The serve thread's startup line shares captured stdout, so
+            # compare just the neighbour rows (everything after the header).
+            assert out.splitlines()[-3:] == local_out.splitlines()[-3:]
+            assert any("#1:" in line for line in out.splitlines())
+        finally:
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert rc.get("serve") == 0
