@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all smoke serve-smoke bench serve-bench
+.PHONY: test test-all smoke serve-smoke bench serve-bench bench-encode
 
 # Tier-1 suite (the repo's verification gate; deselects `slow`-marked
 # serving stress tests — see pytest.ini).
@@ -31,3 +31,10 @@ bench:
 # perf-trajectory record.
 serve-bench:
 	$(PYTHON) -m repro serve-bench --output benchmarks/results/BENCH_serving.json
+
+# Encode-throughput sweep (traj/sec: fused inference engine in
+# float64/float32 vs the reference Tensor path, by batch size), merged
+# scenario-by-scenario into the encode perf-trajectory record. Outside
+# tier-1.
+bench-encode:
+	$(PYTHON) benchmarks/bench_encode.py --output benchmarks/results/BENCH_encode.json

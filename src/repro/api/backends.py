@@ -123,16 +123,31 @@ def _build_trajcl(
     grid_cells_per_side: int = 16,
     encoder_variant: str = "dual",
     train: bool = True,
+    fast_encode: Optional[bool] = None,
+    encode_dtype: Optional[str] = None,
     **config_kwargs,
 ) -> EmbeddingBackend:
     from ..core import (
         FeatureEnrichment, TrajCL, TrajCLConfig, TrajCLTrainer, load_pipeline,
     )
 
+    def _with_encode_prefs(trajcl_model) -> EmbeddingBackend:
+        # Inference-engine knobs (fused numpy forward / compute dtype);
+        # see :meth:`repro.core.TrajCL.encode`. The preferences are
+        # *model* state, like train/eval mode: only explicitly passed
+        # values are applied, and every backend wrapping the same model
+        # object shares them (last writer wins) — this keeps encode,
+        # pairwise and distance_matrix on one consistent path.
+        if fast_encode is not None:
+            trajcl_model.encode_fast = bool(fast_encode)
+        if encode_dtype is not None:
+            trajcl_model.encode_dtype = encode_dtype
+        return EmbeddingBackend("trajcl", trajcl_model)
+
     if model is not None:
-        return EmbeddingBackend("trajcl", model)
+        return _with_encode_prefs(model)
     if checkpoint is not None:
-        return EmbeddingBackend("trajcl", load_pipeline(checkpoint))
+        return _with_encode_prefs(load_pipeline(checkpoint))
     if trajectories is None:
         raise TypeError(
             "backend 'trajcl' needs one of model=, checkpoint= or "
@@ -160,7 +175,7 @@ def _build_trajcl(
         TrajCLTrainer(trajcl, rng=np.random.default_rng(seed + 3)).fit(
             trajectories, epochs=epochs
         )
-    return EmbeddingBackend("trajcl", trajcl)
+    return _with_encode_prefs(trajcl)
 
 
 # ----------------------------------------------------------------------
@@ -287,7 +302,16 @@ def backend_state(backend) -> Tuple[Dict, Dict[str, np.ndarray]]:
     from ..core import TrajCL, pipeline_state
 
     if isinstance(model, TrajCL):
-        meta = {"family": "trajcl", "name": backend.name, "metric": metric}
+        meta = {
+            "family": "trajcl", "name": backend.name, "metric": metric,
+            # Inference-engine preferences travel with the snapshot so a
+            # restored service (or a sharded worker) encodes the same way.
+            "encode": {
+                "fast": bool(getattr(model, "encode_fast", True)),
+                "dtype": str(np.dtype(getattr(model, "encode_dtype",
+                                              "float64"))),
+            },
+        }
         return meta, pipeline_state(model)
 
     rebuild = getattr(backend, "rebuild_meta", None)
@@ -323,7 +347,12 @@ def restore_backend(meta: Dict, arrays: Dict[str, np.ndarray]):
     if family == "trajcl":
         from ..core import pipeline_from_state
 
-        return EmbeddingBackend(meta["name"], pipeline_from_state(dict(arrays)),
+        model = pipeline_from_state(dict(arrays))
+        encode_prefs = meta.get("encode")
+        if encode_prefs:
+            model.encode_fast = bool(encode_prefs.get("fast", True))
+            model.encode_dtype = encode_prefs.get("dtype", "float64")
+        return EmbeddingBackend(meta["name"], model,
                                 metric=meta.get("metric", "l1"))
     if family != "baseline":
         raise ValueError(f"unknown backend snapshot family {family!r}")

@@ -232,17 +232,10 @@ class SegmentBackendIndex(Index):
     def search(self, queries, k: int) -> Tuple[np.ndarray, np.ndarray]:
         if not self._trajectories:
             raise RuntimeError("index is empty")
-        inner = self._build()
-        distances, indices = [], []
-        for query in queries:
-            d, i = inner.knn(query, k)
-            # Pad so every row is length k, mirroring the vector indexes.
-            if len(d) < k:
-                d = np.concatenate([d, np.full(k - len(d), np.inf)])
-                i = np.concatenate([i, np.full(k - len(i), -1, dtype=np.int64)])
-            distances.append(d)
-            indices.append(i)
-        return np.stack(distances), np.stack(indices)
+        # One batched lower-bound pass for every query (rows padded to k
+        # with inf/-1, mirroring the vector indexes); only the pruned
+        # exact Hausdorff evaluations remain per-query work.
+        return self._build().knn_batch(list(queries), k)
 
     def __len__(self) -> int:
         return len(self._trajectories)

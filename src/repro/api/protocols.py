@@ -31,6 +31,19 @@ EMBEDDING = "embedding"
 DISTANCE = "distance"
 
 
+def as_float_array(values) -> np.ndarray:
+    """Coerce to a float array, preserving an existing floating dtype.
+
+    A float32 fast-path encoder stays float32 end to end (backend encode
+    and the service's embedding cache share this policy); only non-float
+    outputs are upcast to float64.
+    """
+    out = np.asarray(values)
+    if not np.issubdtype(out.dtype, np.floating):
+        out = out.astype(np.float64)
+    return out
+
+
 class SimilarityBackend(ABC):
     """A named trajectory-similarity method (lower distance = more similar)."""
 
@@ -101,7 +114,7 @@ class EmbeddingBackend(SimilarityBackend):
         self.metric = metric
 
     def encode(self, trajectories: Sequence[TrajectoryLike]) -> np.ndarray:
-        return np.asarray(self.model.encode(trajectories), dtype=np.float64)
+        return as_float_array(self.model.encode(trajectories))
 
     def distance(self, a: TrajectoryLike, b: TrajectoryLike) -> float:
         return float(self.pairwise([a], [b])[0, 0])

@@ -31,7 +31,9 @@ from ..trajectory import as_points
 from ..trajectory.trajectory import TrajectoryLike
 from .backends import backend_state, restore_backend
 from .indexes import get_index
-from .protocols import DISTANCE, EMBEDDING, Index, SimilarityBackend, as_backend
+from .protocols import (
+    DISTANCE, EMBEDDING, Index, SimilarityBackend, as_backend, as_float_array,
+)
 from .registry import get_backend
 
 __all__ = ["CacheInfo", "SimilarityService"]
@@ -164,7 +166,9 @@ class SimilarityService:
             chunk = missing[start:start + self.batch_size]
             encoded = self.backend.encode([batch[i] for i in chunk])
             for row, position in enumerate(chunk):
-                vector = np.asarray(encoded[row], dtype=np.float64)
+                # Keep the backend's own dtype in the cache: a float32
+                # backend's vectors stay float32, halving cache memory.
+                vector = as_float_array(encoded[row])
                 out[position] = vector
                 self._cache_put(keys[position], vector)
         return np.stack(out) if out else np.empty((0, self._embedding_dim()))

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import nn
+from ..core.infer import chunked_l1_distances
 from ..trajectory import as_points, pad_point_arrays
 from ..trajectory.trajectory import TrajectoryLike
 
@@ -90,10 +91,11 @@ class LearnedSimilarityMeasure(nn.Module):
         queries: Sequence[TrajectoryLike],
         database: Sequence[TrajectoryLike],
     ) -> np.ndarray:
-        """L1 distances between query and database embeddings."""
-        query_emb = self.encode(queries)
-        database_emb = self.encode(database)
-        return np.abs(query_emb[:, None, :] - database_emb[None, :, :]).sum(axis=2)
+        """L1 distances between query and database embeddings.
+
+        Chunked over the database axis — no ``(|Q|, |D|, d)`` broadcast.
+        """
+        return chunked_l1_distances(self.encode(queries), self.encode(database))
 
 
 def sample_training_pairs(

@@ -92,7 +92,11 @@ def _resolve_backend(name: str, args, trajectories: List[np.ndarray]):
     if name == "trajcl":
         if not getattr(args, "checkpoint", None):
             raise SystemExit("backend 'trajcl' needs --checkpoint")
-        return get_backend("trajcl", checkpoint=args.checkpoint)
+        return get_backend(
+            "trajcl", checkpoint=args.checkpoint,
+            fast_encode=getattr(args, "fast_encode", True),
+            encode_dtype=getattr(args, "encode_dtype", "float64"),
+        )
     if spec.kind == "distance":
         return get_backend(name)
     return get_backend(
@@ -140,6 +144,8 @@ def cmd_encode(args) -> int:
     from .core import load_pipeline
 
     model = load_pipeline(args.checkpoint)
+    model.encode_fast = getattr(args, "fast_encode", True)
+    model.encode_dtype = getattr(args, "encode_dtype", "float64")
     trajectories = _load_trajectories(args.data)
     start = time.perf_counter()
     embeddings = model.encode(trajectories)
@@ -543,6 +549,18 @@ def cmd_serve_bench(args) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_encode_args(p: argparse.ArgumentParser) -> None:
+    """Inference-engine knobs shared by encode/evaluate/knn/serve."""
+    p.add_argument("--no-fast-encode", dest="fast_encode",
+                   action="store_false", default=True,
+                   help="disable the fused numpy inference engine and use "
+                        "the reference Tensor-graph encoder")
+    p.add_argument("--encode-dtype", choices=["float32", "float64"],
+                   default="float64",
+                   help="compute dtype of the fast encode path (float32: "
+                        "~2x throughput, ~1e-5 relative parity)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -571,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--data", required=True, help="trajectories .npz")
     p.add_argument("--output", required=True, help="embeddings .npy path")
+    _add_encode_args(p)
     p.set_defaults(func=cmd_encode)
 
     p = sub.add_parser("backends",
@@ -590,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train-epochs", type=int, default=1,
                    help="training epochs for learned non-trajcl backends")
     p.add_argument("--seed", type=int, default=0)
+    _add_encode_args(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("knn",
@@ -619,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "building a local service (--data still supplies "
                         "the query trajectory)")
     p.add_argument("--seed", type=int, default=0)
+    _add_encode_args(p)
     p.set_defaults(func=cmd_knn)
 
     p = sub.add_parser("serve",
@@ -653,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train-epochs", type=int, default=1,
                    help="training epochs for learned non-trajcl backends")
     p.add_argument("--seed", type=int, default=0)
+    _add_encode_args(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("serve-bench",

@@ -28,6 +28,7 @@ from .dual_attention import DualMSM
 from .encoder import ConcatSTB, DualSTB, DualSTBLayer, VanillaSTB, build_encoder
 from .features import FeatureEnrichment, sinusoidal_position_encoding, spatial_features
 from .finetune import FinetuneHistory, FrozenBackboneApproximator, HeuristicApproximator
+from .infer import InferenceEncoder, chunked_l1_distances
 from .model import NegativeQueue, TrajCL
 from .trainer import TrainHistory, TrajCLTrainer
 
@@ -57,6 +58,8 @@ __all__ = [
     "build_encoder",
     "TrajCL",
     "NegativeQueue",
+    "InferenceEncoder",
+    "chunked_l1_distances",
     "TrajCLTrainer",
     "TrainHistory",
     "HeuristicApproximator",

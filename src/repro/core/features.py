@@ -18,7 +18,7 @@ the information content of the features.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -108,27 +108,115 @@ class FeatureEnrichment:
         spatial = spatial_features(points, self.grid) + self._pe_spatial[: len(points)]
         return structural, spatial
 
-    def encode_batch(
+    def prepare(
         self, trajectories: Sequence[TrajectoryLike]
+    ) -> List[np.ndarray]:
+        """Validated, ``max_len``-truncated ``(n, 2)`` float64 point arrays.
+
+        Validation is :func:`~repro.trajectory.as_points` itself (run
+        before truncation, so non-finite coordinates are rejected even
+        beyond ``max_len``) — the fast and reference paths accept exactly
+        the same inputs.
+        """
+        if len(trajectories) == 0:
+            raise ValueError("empty batch")
+        return [as_points(t)[: self.max_len] for t in trajectories]
+
+    def _flat_spatial_features(
+        self, flat: np.ndarray, offsets: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """Eq. 8 features of concatenated trajectories, ``(sum(n), 4)``.
+
+        Identical per-element arithmetic to :func:`spatial_features`, with
+        trajectory boundaries handled by index masks instead of a Python
+        loop per trajectory.
+        """
+        total = len(flat)
+        grid = self.grid
+        x = (flat[:, 0] - grid.min_x) / (grid.max_x - grid.min_x)
+        y = (flat[:, 1] - grid.min_y) / (grid.max_y - grid.min_y)
+        radians = np.full(total, np.pi)
+        mean_len = np.zeros(total)
+        starts = offsets[:-1]
+        ends = offsets[1:] - 1
+        if total > 1:
+            # Segment lengths between consecutive flat points; entries that
+            # cross a trajectory boundary exist but are never read.
+            seg = np.linalg.norm(flat[1:] - flat[:-1], axis=1)
+            multi = lengths >= 2
+            mean_len[starts[multi]] = seg[starts[multi]]
+            mean_len[ends[multi]] = seg[ends[multi] - 1]
+            interior = np.ones(total, dtype=bool)
+            interior[starts] = False
+            interior[ends] = False
+            inner = np.flatnonzero(interior)
+            if len(inner):
+                mean_len[inner] = 0.5 * (seg[inner - 1] + seg[inner])
+                before = flat[inner - 1] - flat[inner]
+                after = flat[inner + 1] - flat[inner]
+                denom = np.maximum(
+                    np.linalg.norm(before, axis=1) * np.linalg.norm(after, axis=1),
+                    1e-12,
+                )
+                cos = np.clip((before * after).sum(axis=1) / denom, -1.0, 1.0)
+                radians[inner] = np.arccos(cos)
+        return np.stack(
+            [x, y, radians / np.pi, mean_len / grid.cell_size], axis=1
+        )
+
+    def stack_features(
+        self, points: Sequence[np.ndarray], pad_len: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Featurize pre-:meth:`prepare`-d point arrays into a padded batch.
+
+        ``points`` must already be validated/truncated by :meth:`prepare`
+        (no re-validation happens here). ``pad_len`` overrides the padded
+        length (default: ``max_len``); it must cover the longest
+        trajectory in the batch. The inference engine uses this for
+        length-bucketed batching.
+        """
+        batch = len(points)
+        lengths = np.array([len(p) for p in points], dtype=np.int64)
+        longest = int(lengths.max())
+        pad_len = self.max_len if pad_len is None else int(pad_len)
+        if pad_len < longest or pad_len > self.max_len:
+            raise ValueError(
+                f"pad_len={pad_len} must be in [{longest}, {self.max_len}]"
+            )
+        flat = np.concatenate(points, axis=0) if batch > 1 else np.asarray(points[0])
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        rows = np.repeat(np.arange(batch), lengths)
+        cols = np.arange(len(flat)) - np.repeat(offsets[:-1], lengths)
+
+        cells = self.grid.cell_of(flat)
+        structural_flat = self.cell_embeddings[cells] + self._pe_structural[cols]
+        spatial_flat = (
+            self._flat_spatial_features(flat, offsets, lengths)
+            + self._pe_spatial[cols]
+        )
+
+        structural = np.zeros((batch, pad_len, self.structural_dim))
+        spatial = np.zeros((batch, pad_len, self.spatial_dim))
+        mask = np.ones((batch, pad_len), dtype=bool)
+        structural[rows, cols] = structural_flat
+        spatial[rows, cols] = spatial_flat
+        mask[rows, cols] = False
+        return structural, spatial, mask, lengths
+
+    def encode_batch(
+        self,
+        trajectories: Sequence[TrajectoryLike],
+        pad_len: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Padded batch: ``(T, S, padding_mask, lengths)``.
 
         ``T``: ``(B, l, d_t)``; ``S``: ``(B, l, 4)``; ``padding_mask``:
         boolean ``(B, l)`` with True at padded positions; ``lengths``:
-        ``(B,)`` true lengths.
+        ``(B,)`` true lengths. ``l`` is ``max_len`` unless ``pad_len``
+        narrows it (length-bucketed inference batches).
+
+        The whole batch is featurized in one vectorized pass — cell lookup,
+        Eq. 8 geometry and position encodings are computed over the
+        concatenated points, then scattered into the padded tensors.
         """
-        if len(trajectories) == 0:
-            raise ValueError("empty batch")
-        batch = len(trajectories)
-        structural = np.zeros((batch, self.max_len, self.structural_dim))
-        spatial = np.zeros((batch, self.max_len, self.spatial_dim))
-        mask = np.ones((batch, self.max_len), dtype=bool)
-        lengths = np.zeros(batch, dtype=np.int64)
-        for i, trajectory in enumerate(trajectories):
-            t_mat, s_mat = self.encode_one(trajectory)
-            n = len(t_mat)
-            structural[i, :n] = t_mat
-            spatial[i, :n] = s_mat
-            mask[i, :n] = False
-            lengths[i] = n
-        return structural, spatial, mask, lengths
+        return self.stack_features(self.prepare(trajectories), pad_len=pad_len)

@@ -26,6 +26,7 @@ import numpy as np
 from .. import nn
 from ..measures.base import TrajectorySimilarityMeasure
 from ..trajectory.trajectory import TrajectoryLike
+from .infer import chunked_l1_distances
 from .model import TrajCL
 
 FINETUNE_MODES = ("last_layer", "all", "head_only")
@@ -66,11 +67,9 @@ class FrozenBackboneApproximator(nn.Module):
         return refined.data.copy()
 
     def distance_matrix(self, queries, database) -> np.ndarray:
-        query_emb = self.encode(queries)
-        database_emb = self.encode(database)
-        return self.target_scale * np.abs(
-            query_emb[:, None, :] - database_emb[None, :, :]
-        ).sum(axis=2)
+        return self.target_scale * chunked_l1_distances(
+            self.encode(queries), self.encode(database)
+        )
 
     def fit(
         self,
@@ -197,11 +196,9 @@ class HeuristicApproximator(nn.Module):
         database: Sequence[TrajectoryLike],
     ) -> np.ndarray:
         """Predicted heuristic distances ``(|Q|, |D|)`` (L1 in refined space)."""
-        query_emb = self.encode(queries)
-        database_emb = self.encode(database)
-        return self.target_scale * np.abs(
-            query_emb[:, None, :] - database_emb[None, :, :]
-        ).sum(axis=2)
+        return self.target_scale * chunked_l1_distances(
+            self.encode(queries), self.encode(database)
+        )
 
     # ------------------------------------------------------------------
     # Training

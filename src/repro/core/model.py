@@ -28,6 +28,7 @@ from ..trajectory.trajectory import TrajectoryLike
 from .config import TrajCLConfig
 from .encoder import build_encoder
 from .features import FeatureEnrichment
+from .infer import InferenceEncoder, chunked_l1_distances, resolve_dtype
 
 
 class NegativeQueue:
@@ -131,6 +132,12 @@ class TrajCL(nn.Module):
 
         self.queue = NegativeQueue(config.queue_size, config.projection_dim)
 
+        #: default ``encode`` route: compiled numpy engine vs Tensor graph
+        self.encode_fast = True
+        #: default compute dtype of the fast path ("float32" or "float64")
+        self.encode_dtype = "float64"
+        self._inference_cache: dict = {}
+
     # ------------------------------------------------------------------
     # Branch forwards
     # ------------------------------------------------------------------
@@ -197,17 +204,57 @@ class TrajCL(nn.Module):
     # ------------------------------------------------------------------
     # Inference API
     # ------------------------------------------------------------------
+    def inference_encoder(self, dtype=None) -> Optional[InferenceEncoder]:
+        """The compiled numpy engine for the current weights (or None).
+
+        Engines are cached per dtype and invalidated by a weight
+        fingerprint, so training / ``load_state_dict`` between ``encode``
+        calls transparently triggers a recompile. Returns None when the
+        encoder variant cannot be exported (custom encoders fall back to
+        the reference path).
+        """
+        dtype = resolve_dtype(self.encode_dtype if dtype is None else dtype)
+        if not InferenceEncoder.supports(self):
+            return None
+        fingerprint = InferenceEncoder.fingerprint(self)
+        cached = self._inference_cache.get(dtype.name)
+        if cached is not None and cached.model_fingerprint == fingerprint:
+            return cached
+        engine = InferenceEncoder.from_model(self, dtype=dtype)
+        self._inference_cache[dtype.name] = engine
+        return engine
+
     def encode(
         self,
         trajectories: Sequence[TrajectoryLike],
         batch_size: int = 256,
+        fast: Optional[bool] = None,
+        dtype=None,
+        bucket_size: int = 64,
     ) -> np.ndarray:
         """Embed trajectories with the trained backbone ``F``: ``(N, d)``.
 
         This is the detached encoder of Fig. 2 — no projection head, per
         standard contrastive-learning practice (the head is only for the
         loss space).
+
+        ``fast`` (default: :attr:`encode_fast`, True) routes through the
+        autograd-free :class:`~repro.core.infer.InferenceEncoder` —
+        fused numpy forward with length-bucketed batching — in ``dtype``
+        (default: :attr:`encode_dtype`, float64). On the fast path the
+        batch runs in length buckets of ``min(batch_size, bucket_size)``
+        rows, each padded to its own maximum length; raise
+        ``bucket_size`` to ``batch_size`` to force full-width batches.
+        The reference Tensor path remains available with ``fast=False``
+        (where ``batch_size`` is the exact chunk width) and is the
+        automatic fallback for unexported encoder variants.
         """
+        fast = self.encode_fast if fast is None else bool(fast)
+        if fast:
+            engine = self.inference_encoder(dtype)
+            if engine is not None:
+                return engine.encode(trajectories, batch_size=batch_size,
+                                     bucket_size=bucket_size)
         was_training = self.encoder.training
         self.encoder.eval()
         chunks = []
@@ -224,7 +271,11 @@ class TrajCL(nn.Module):
         queries: Sequence[TrajectoryLike],
         database: Sequence[TrajectoryLike],
     ) -> np.ndarray:
-        """L1 embedding distances ``(|Q|, |D|)`` — the paper's similarity."""
+        """L1 embedding distances ``(|Q|, |D|)`` — the paper's similarity.
+
+        Computed in chunks over the database axis (no ``(|Q|, |D|, d)``
+        broadcast), so memory stays bounded for large databases.
+        """
         query_emb = self.encode(queries)
         database_emb = self.encode(database)
-        return np.abs(query_emb[:, None, :] - database_emb[None, :, :]).sum(axis=2)
+        return chunked_l1_distances(query_emb, database_emb)

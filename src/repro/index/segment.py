@@ -27,13 +27,6 @@ from ..trajectory import as_points
 from ..trajectory.trajectory import TrajectoryLike
 
 
-def _point_box_distance(points: np.ndarray, box: np.ndarray) -> np.ndarray:
-    """Distance from each point to an axis-aligned box ``(min_x, min_y, max_x, max_y)``."""
-    dx = np.maximum(np.maximum(box[0] - points[:, 0], points[:, 0] - box[2]), 0.0)
-    dy = np.maximum(np.maximum(box[1] - points[:, 1], points[:, 1] - box[3]), 0.0)
-    return np.hypot(dx, dy)
-
-
 class SegmentHausdorffIndex:
     """Trajectory kNN under Hausdorff with segment buckets + pruning."""
 
@@ -55,6 +48,8 @@ class SegmentHausdorffIndex:
         if not trajectories:
             raise ValueError("no trajectories to index")
         self._trajectories = [as_points(t) for t in trajectories]
+        self._segment_buckets = {}
+        self._n_segments = 0
         boxes = np.empty((len(self._trajectories), 4))
         for traj_id, points in enumerate(self._trajectories):
             mins = points.min(axis=0)
@@ -69,6 +64,9 @@ class SegmentHausdorffIndex:
                 )
             self._n_segments += max(len(points) - 1, 0)
         self._boxes = boxes
+        # Bbox corner points (N, 4, 2), precomputed for the vectorized
+        # backward lower bound.
+        self._corners = boxes[:, [0, 1, 0, 3, 2, 1, 2, 3]].reshape(-1, 4, 2)
 
     def __len__(self) -> int:
         return len(self._trajectories)
@@ -89,46 +87,89 @@ class SegmentHausdorffIndex:
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
-    def lower_bound(self, query_points: np.ndarray) -> np.ndarray:
-        """Vectorized Hausdorff lower bound against every indexed trajectory.
+    def lower_bounds_batch(
+        self,
+        queries: Sequence[TrajectoryLike],
+        max_elements: int = 2 ** 23,
+    ) -> np.ndarray:
+        """Hausdorff lower bounds ``(|Q|, N)``, vectorized across queries
+        *and* trajectories.
 
         ``H(Q, T) >= max_q dist(q, bbox(T))`` and symmetrically
         ``>= max_t dist(t, bbox(Q))``; take the larger of the two using
         only bounding boxes (the second side uses bbox corners of T).
+        Queries are padded to a common length (replicating their first
+        point, which cannot change a max) and processed in blocks of
+        ``~max_elements`` scalars so memory stays bounded.
         """
-        boxes = self._boxes
-        n = len(self._trajectories)
-        bounds = np.empty(n)
-        query_box = np.array([
-            query_points[:, 0].min(), query_points[:, 1].min(),
-            query_points[:, 0].max(), query_points[:, 1].max(),
-        ])
-        for traj_id in range(n):
-            forward = _point_box_distance(query_points, boxes[traj_id]).max()
-            corners = boxes[traj_id][[0, 1, 2, 3]]
-            corner_points = np.array([
-                [corners[0], corners[1]], [corners[0], corners[3]],
-                [corners[2], corners[1]], [corners[2], corners[3]],
-            ])
-            backward = _point_box_distance(corner_points, query_box).min()
-            bounds[traj_id] = max(forward, backward)
-        return bounds
+        return self._lower_bounds_prepared([as_points(q) for q in queries],
+                                           max_elements)
 
-    def knn(self, query: TrajectoryLike, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact Hausdorff k nearest neighbours with lower-bound pruning.
-
-        Returns ``(distances, indices)`` sorted ascending. Also records the
-        number of exact evaluations in :attr:`last_exact_evaluations` for
-        the pruning-effectiveness tests.
-        """
+    def _lower_bounds_prepared(
+        self, points: List[np.ndarray], max_elements: int = 2 ** 23
+    ) -> np.ndarray:
+        """:meth:`lower_bounds_batch` over already-validated point arrays."""
         if self._boxes is None:
             raise RuntimeError("index must be built before querying")
-        query_points = as_points(query)
+        n_queries, n = len(points), len(self._trajectories)
+        boxes = self._boxes
+        if n_queries == 0:
+            return np.empty((0, n))
+        max_pts = max(len(p) for p in points)
+        padded = np.empty((n_queries, max_pts, 2))
+        query_boxes = np.empty((n_queries, 4))
+        for i, pts in enumerate(points):
+            padded[i, :len(pts)] = pts
+            padded[i, len(pts):] = pts[0]
+            query_boxes[i] = (pts[:, 0].min(), pts[:, 1].min(),
+                              pts[:, 0].max(), pts[:, 1].max())
+
+        bounds = np.empty((n_queries, n))
+        corner_x = self._corners[None, :, :, 0]          # (1, N, 4)
+        corner_y = self._corners[None, :, :, 1]
+        # Both passes chunk over queries: the forward temporaries are
+        # (C, P, N), the backward ones (C, N, 4), so a shared step of
+        # ~max_elements // (max(P, 4) * N) bounds both.
+        step = max(1, int(max_elements // max(1, max(max_pts, 4) * n)))
+        for start in range(0, n_queries, step):
+            chunk = padded[start:start + step]           # (C, P, 2)
+            px = chunk[:, :, None, 0]
+            py = chunk[:, :, None, 1]
+            dx = np.maximum(
+                np.maximum(boxes[None, None, :, 0] - px, px - boxes[None, None, :, 2]),
+                0.0,
+            )
+            dy = np.maximum(
+                np.maximum(boxes[None, None, :, 1] - py, py - boxes[None, None, :, 3]),
+                0.0,
+            )
+            forward = np.hypot(dx, dy).max(axis=1)       # (C, N)
+
+            qbox = query_boxes[start:start + step]       # (C, 4)
+            dx = np.maximum(
+                np.maximum(qbox[:, None, None, 0] - corner_x,
+                           corner_x - qbox[:, None, None, 2]),
+                0.0,
+            )
+            dy = np.maximum(
+                np.maximum(qbox[:, None, None, 1] - corner_y,
+                           corner_y - qbox[:, None, None, 3]),
+                0.0,
+            )
+            backward = np.hypot(dx, dy).min(axis=2)      # (C, N)
+            bounds[start:start + step] = np.maximum(forward, backward)
+        return bounds
+
+    def lower_bound(self, query_points: np.ndarray) -> np.ndarray:
+        """Single-query lower bounds ``(N,)`` (see :meth:`lower_bounds_batch`)."""
+        return self.lower_bounds_batch([query_points])[0]
+
+    def _knn_one(
+        self, query_points: np.ndarray, bounds: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Pruned exact kNN for one query given its lower-bound row."""
         k = min(k, len(self._trajectories))
-
-        bounds = self.lower_bound(query_points)
         order = np.argsort(bounds)
-
         heap: List[Tuple[float, int]] = []  # max-heap via negated distance
         evaluations = 0
         for traj_id in order:
@@ -140,9 +181,51 @@ class SegmentHausdorffIndex:
                 heapq.heappush(heap, (-exact, int(traj_id)))
             elif exact < -heap[0][0]:
                 heapq.heapreplace(heap, (-exact, int(traj_id)))
-        self.last_exact_evaluations = evaluations
-
         results = sorted((-negated, traj_id) for negated, traj_id in heap)
         distances = np.array([r[0] for r in results])
         indices = np.array([r[1] for r in results], dtype=np.int64)
+        return distances, indices, evaluations
+
+    def knn(self, query: TrajectoryLike, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact Hausdorff k nearest neighbours with lower-bound pruning.
+
+        Returns ``(distances, indices)`` sorted ascending. Also records the
+        number of exact evaluations in :attr:`last_exact_evaluations` for
+        the pruning-effectiveness tests.
+        """
+        if self._boxes is None:
+            raise RuntimeError("index must be built before querying")
+        query_points = as_points(query)
+        bounds = self._lower_bounds_prepared([query_points])[0]
+        distances, indices, evaluations = self._knn_one(query_points, bounds, k)
+        self.last_exact_evaluations = evaluations
         return distances, indices
+
+    def knn_batch(
+        self, queries: Sequence[TrajectoryLike], k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact Hausdorff kNN for a batch of queries: ``(Q, k)`` arrays.
+
+        The query-to-bbox lower bounds — the vectorizable part of the DFT
+        pruning scheme — are computed for *all* queries in one batched
+        pass; only the pruned exact evaluations remain per query. Rows are
+        padded with ``inf`` / ``-1`` when the database holds fewer than
+        ``k`` trajectories. :attr:`last_exact_evaluations` records the
+        total across the batch.
+        """
+        if self._boxes is None:
+            raise RuntimeError("index must be built before querying")
+        points = [as_points(q) for q in queries]
+        bounds = self._lower_bounds_prepared(points)
+        out_d = np.full((len(points), k), np.inf)
+        out_i = np.full((len(points), k), -1, dtype=np.int64)
+        total_evaluations = 0
+        for row, query_points in enumerate(points):
+            distances, indices, evaluations = self._knn_one(
+                query_points, bounds[row], k
+            )
+            out_d[row, :len(distances)] = distances
+            out_i[row, :len(indices)] = indices
+            total_evaluations += evaluations
+        self.last_exact_evaluations = total_evaluations
+        return out_d, out_i

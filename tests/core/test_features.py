@@ -126,6 +126,65 @@ class TestFeatureEnrichment:
         with pytest.raises(ValueError):
             enrichment.encode_batch([])
 
+    def test_vectorized_batch_matches_encode_one(self):
+        """The batched featurization (one pass over the concatenated
+        points) must reproduce the per-trajectory reference exactly."""
+        enrichment, _, _ = self.make_enrichment(max_len=16)
+        batch = [walk(5, seed=1), walk(12, seed=2),
+                 np.array([[500.0, 500.0]]),            # single point
+                 np.array([[100.0, 100.0], [180.0, 240.0]]),  # two points
+                 walk(30, seed=3)]                      # truncated to 16
+        structural, spatial, mask, lengths = enrichment.encode_batch(batch)
+        for i, trajectory in enumerate(batch):
+            t_mat, s_mat = enrichment.encode_one(trajectory)
+            n = len(t_mat)
+            assert lengths[i] == n
+            np.testing.assert_array_equal(structural[i, :n], t_mat)
+            np.testing.assert_array_equal(spatial[i, :n], s_mat)
+            np.testing.assert_allclose(structural[i, n:], 0.0)
+            np.testing.assert_allclose(spatial[i, n:], 0.0)
+            assert not mask[i, :n].any() and mask[i, n:].all()
+
+    def test_pad_len_narrows_batch(self):
+        enrichment, _, _ = self.make_enrichment(max_len=16)
+        batch = [walk(5, seed=1), walk(8, seed=2)]
+        structural, spatial, mask, lengths = enrichment.encode_batch(
+            batch, pad_len=8
+        )
+        assert structural.shape == (2, 8, 8)
+        assert spatial.shape == (2, 8, 4)
+        assert mask.shape == (2, 8)
+        # Valid positions identical to the max_len padding.
+        full_t, full_s, _, _ = enrichment.encode_batch(batch)
+        np.testing.assert_array_equal(structural, full_t[:, :8])
+        np.testing.assert_array_equal(spatial, full_s[:, :8])
+
+    def test_pad_len_validation(self):
+        enrichment, _, _ = self.make_enrichment(max_len=16)
+        batch = [walk(10, seed=1)]
+        with pytest.raises(ValueError):
+            enrichment.encode_batch(batch, pad_len=9)   # shorter than data
+        with pytest.raises(ValueError):
+            enrichment.encode_batch(batch, pad_len=17)  # beyond the PE table
+
+    def test_batch_rejects_malformed_trajectories(self):
+        enrichment, _, _ = self.make_enrichment()
+        with pytest.raises(ValueError):
+            enrichment.encode_batch([np.zeros((4, 3))])
+        with pytest.raises(ValueError):
+            enrichment.encode_batch([np.empty((0, 2))])
+        with pytest.raises(ValueError):
+            enrichment.encode_batch([np.array([[np.inf, 1.0], [0.0, 0.0]])])
+
+    def test_rejects_non_finite_beyond_max_len(self):
+        """Validation must match as_points: a NaN after the truncation
+        point still rejects the trajectory (fast/reference parity)."""
+        enrichment, _, _ = self.make_enrichment(max_len=4)
+        bad = np.zeros((6, 2)) + 500.0
+        bad[5] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            enrichment.encode_batch([bad])
+
     def test_wrong_cell_table_shape(self):
         grid = make_grid()
         with pytest.raises(ValueError):

@@ -344,3 +344,44 @@ class TestSegmentHausdorffIndex:
         index = SegmentHausdorffIndex()
         with pytest.raises(RuntimeError):
             index.knn(np.zeros((3, 2)), 1)
+        with pytest.raises(RuntimeError):
+            index.knn_batch([np.zeros((3, 2))], 1)
+
+    def test_batched_lower_bounds_match_single(self):
+        """One vectorized pass over all queries must reproduce the
+        per-query bound exactly (same pruning decisions)."""
+        trajs = random_trajectories(n=50, seed=5)
+        index = SegmentHausdorffIndex(bucket_size=400)
+        index.build(trajs)
+        queries = [trajs[0], trajs[7][:3], trajs[20]]
+        batched = index.lower_bounds_batch(queries)
+        assert batched.shape == (3, 50)
+        for row, query in enumerate(queries):
+            np.testing.assert_array_equal(
+                batched[row], index.lower_bound(np.asarray(query))
+            )
+        # Chunked query blocks must not change the result.
+        np.testing.assert_array_equal(
+            index.lower_bounds_batch(queries, max_elements=64), batched
+        )
+
+    def test_knn_batch_matches_per_query_knn(self):
+        trajs = random_trajectories(n=60, seed=6)
+        index = SegmentHausdorffIndex(bucket_size=400)
+        index.build(trajs)
+        queries = [trajs[2], trajs[11], trajs[33][:5]]
+        batch_d, batch_i = index.knn_batch(queries, k=4)
+        assert batch_d.shape == (3, 4) and batch_i.shape == (3, 4)
+        for row, query in enumerate(queries):
+            single_d, single_i = index.knn(query, k=4)
+            np.testing.assert_array_equal(batch_i[row], single_i)
+            np.testing.assert_allclose(batch_d[row], single_d, atol=1e-12)
+
+    def test_knn_batch_pads_small_database(self):
+        trajs = random_trajectories(n=3, seed=7)
+        index = SegmentHausdorffIndex()
+        index.build(trajs)
+        distances, indices = index.knn_batch([trajs[0]], k=5)
+        assert distances.shape == (1, 5) and indices.shape == (1, 5)
+        assert (indices[0, 3:] == -1).all()
+        assert np.isinf(distances[0, 3:]).all()

@@ -121,6 +121,28 @@ class TestTrainEncodeEvaluateKnn:
         assert "index bruteforce" in out  # the embedding-backend default
         assert "#3:" in out
 
+    def test_encode_dtype_flag(self, checkpoint_path, dataset_path, tmp_path):
+        out32 = str(tmp_path / "emb32.npy")
+        assert main(["encode", "--checkpoint", checkpoint_path,
+                     "--data", dataset_path, "--encode-dtype", "float32",
+                     "--output", out32]) == 0
+        assert np.load(out32).dtype == np.float32
+
+    def test_knn_fast_flags_agree_with_reference(self, checkpoint_path,
+                                                 dataset_path, capsys):
+        """The fused engine (both dtypes) and the reference Tensor path
+        must return the same neighbours from the CLI."""
+        argv = ["knn", "--checkpoint", checkpoint_path,
+                "--data", dataset_path, "--query", "2", "--k", "3"]
+        outputs = []
+        for extra in ([], ["--no-fast-encode"],
+                      ["--encode-dtype", "float32"]):
+            assert main(argv + extra) == 0
+            out = capsys.readouterr().out
+            outputs.append([line.split("(")[0] for line
+                            in out.splitlines()[1:]])  # ids, not distances
+        assert outputs[0] == outputs[1] == outputs[2]
+
 
 class TestBackendsCommand:
     def test_lists_all_backends(self, capsys):
