@@ -1,16 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all smoke serve-smoke bench serve-bench bench-encode
+.PHONY: test test-all smoke serve-smoke cluster-smoke bench serve-bench bench-encode
 
 # Tier-1 suite (the repo's verification gate; deselects `slow`-marked
 # serving stress tests — see pytest.ini).
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Everything, including the slow serving stress tests.
+# Everything: the full pytest suite (including the slow serving stress
+# tests) plus both real-process smoke runs.
 test-all:
 	$(PYTHON) -m pytest -x -q -m ""
+	$(PYTHON) scripts/serve_smoke.py
+	$(PYTHON) scripts/cluster_smoke.py
 
 # End-to-end CLI pipeline (generate -> train -> evaluate -> knn) on a tiny
 # dataset; finishes in well under a minute.
@@ -21,6 +24,12 @@ smoke:
 # backend), runs one remote knn round-trip, exits nonzero on failure.
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
+
+# Boots two real `repro cluster-worker` processes plus a `repro cluster`
+# front-end, runs one remote knn round-trip, and checks exact parity
+# against the local CLI path.
+cluster-smoke:
+	$(PYTHON) scripts/cluster_smoke.py
 
 # Paper-table benchmark harnesses (slow; needs pytest-benchmark).
 bench:

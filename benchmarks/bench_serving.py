@@ -2,9 +2,10 @@
 
 Runs the ``serve-bench`` CLI sweep (the same path ``make serve-bench``
 uses) at a reduced scale and merges ``BENCH_serving.json`` so later PRs
-have a perf trajectory for the sharded + batched + remote serving stack.
-The record is keyed by scenario (``in_process``/``remote``/``async``);
-scenarios not re-run by a sweep keep their previous numbers.
+have a perf trajectory for the sharded + batched + remote + cluster
+serving stack. The record is keyed by scenario
+(``in_process``/``remote``/``async``/``cluster``); scenarios not re-run
+by a sweep keep their previous numbers.
 """
 
 import json
@@ -23,7 +24,8 @@ def test_serving_throughput(benchmark):
             "serve-bench",
             "--count", "120", "--queries", "16", "--k", "5",
             "--workers", "1,2,4", "--repeats", "2",
-            "--scenarios", "in_process,remote,async",
+            "--scenarios", "in_process,remote,async,cluster",
+            "--cluster-workers", "2",
             "--seed", str(SEED),
             "--output", str(out),
         ]) == 0
@@ -32,7 +34,7 @@ def test_serving_throughput(benchmark):
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
     scenarios = payload["scenarios"]
-    assert {"in_process", "remote", "async"} <= set(scenarios)
+    assert {"in_process", "remote", "async", "cluster"} <= set(scenarios)
     rows = [[r["workers"], r["unbatched_qps"], r["batched_qps"],
              r["batches"], r["largest_batch"]]
             for r in scenarios["in_process"]["results"]]
@@ -42,6 +44,9 @@ def test_serving_throughput(benchmark):
     assert scenarios["remote"]["results"]["qps"] > 0
     assert scenarios["remote"]["results"]["batched_qps"] > 0
     assert scenarios["async"]["results"]["qps"] > 0
+    assert scenarios["cluster"]["results"]["qps"] > 0
+    assert scenarios["cluster"]["results"]["batched_qps"] > 0
+    assert scenarios["cluster"]["results"]["workers"] == 2
     save_result(
         "BENCH_serving",
         json.dumps(payload, indent=2),

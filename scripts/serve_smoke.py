@@ -8,24 +8,13 @@ shuts itself down via ``--max-requests`` after the round-trip.
 """
 
 import os
-import subprocess
 import sys
 import tempfile
-import time
 
-TIMEOUT = 120  # generous ceiling for a cold python start on a busy box
-
-
-def run(argv, **kwargs):
-    print("+", " ".join(argv), flush=True)
-    return subprocess.run(argv, timeout=TIMEOUT, **kwargs)
+from smoke_common import TIMEOUT, fail, popen, run, terminate, wait_for_ready
 
 
 def main() -> int:
-    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(repo, "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     python = sys.executable
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
@@ -33,61 +22,37 @@ def main() -> int:
         ready = os.path.join(tmp, "ready")
 
         generated = run([python, "-m", "repro", "generate", "--city", "porto",
-                         "--count", "25", "--seed", "0", "--output", data],
-                        env=env)
+                         "--count", "25", "--seed", "0", "--output", data])
         if generated.returncode != 0:
-            print("serve-smoke: dataset generation failed", file=sys.stderr)
-            return 1
+            return fail("serve-smoke: dataset generation failed")
 
         # knn --remote issues two requests (knn + stats): the server then
         # trips --max-requests and exits on its own.
-        server = subprocess.Popen(
-            [python, "-m", "repro", "serve", "--data", data,
-             "--backend", "frechet", "--port", "0",
-             "--ready-file", ready, "--max-requests", "2"],
-            env=env,
-        )
+        server = popen([python, "-m", "repro", "serve", "--data", data,
+                        "--backend", "frechet", "--port", "0",
+                        "--ready-file", ready, "--max-requests", "2"])
         try:
-            deadline = time.monotonic() + TIMEOUT
-            while not os.path.exists(ready):
-                if server.poll() is not None:
-                    print("serve-smoke: server exited before becoming ready",
-                          file=sys.stderr)
-                    return 1
-                if time.monotonic() > deadline:
-                    print("serve-smoke: server never became ready",
-                          file=sys.stderr)
-                    return 1
-                time.sleep(0.05)
-            with open(ready) as handle:
-                address = handle.read().strip()
+            try:
+                address = wait_for_ready(ready, server, "server")
+            except RuntimeError as error:
+                return fail(f"serve-smoke: {error}")
             print(f"serve-smoke: server ready on {address}", flush=True)
 
             result = run([python, "-m", "repro", "knn", "--data", data,
                           "--query", "1", "--k", "3", "--remote", address],
-                         env=env, capture_output=True, text=True)
+                         capture_output=True, text=True)
             sys.stdout.write(result.stdout)
             sys.stderr.write(result.stderr)
             if result.returncode != 0:
-                print("serve-smoke: remote knn failed", file=sys.stderr)
-                return 1
+                return fail("serve-smoke: remote knn failed")
             if "#1:" not in result.stdout:
-                print("serve-smoke: remote knn returned no neighbours",
-                      file=sys.stderr)
-                return 1
+                return fail("serve-smoke: remote knn returned no neighbours")
 
             server.wait(timeout=TIMEOUT)
             if server.returncode != 0:
-                print(f"serve-smoke: server exited {server.returncode}",
-                      file=sys.stderr)
-                return 1
+                return fail(f"serve-smoke: server exited {server.returncode}")
         finally:
-            if server.poll() is None:
-                server.terminate()
-                try:
-                    server.wait(timeout=10)
-                except subprocess.TimeoutExpired:
-                    server.kill()
+            terminate(server)
     print("serve-smoke: OK")
     return 0
 

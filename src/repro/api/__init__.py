@@ -27,10 +27,12 @@ worker processes (:class:`ShardedSimilarityService`) and batches concurrent
 queries (:class:`QueryQueue`); :mod:`repro.api.remote` puts any of those
 services behind a TCP port (:class:`SimilarityServer`) with blocking
 (:class:`RemoteSimilarityClient`) and asyncio
-(:class:`AsyncSimilarityClient`) front-ends. All inter-process and
-network traffic speaks the framed-message protocol in
-:mod:`repro.api.transport`; see each module's docstring for composition
-examples.
+(:class:`AsyncSimilarityClient`) front-ends; :mod:`repro.api.cluster`
+fans the shards out across machines (:class:`ClusterCoordinator` over N
+:class:`ShardWorker` servers, with heartbeats, failover and sharded
+snapshots). All inter-process and network traffic speaks the
+framed-message protocol in :mod:`repro.api.transport`; see each module's
+docstring for composition examples.
 """
 
 from .protocols import (
@@ -76,6 +78,7 @@ from .remote import (
     RemoteSimilarityClient,
     SimilarityServer,
 )
+from .cluster import ClusterCoordinator, ShardWorker
 
 __all__ = [
     "EMBEDDING",
@@ -114,4 +117,6 @@ __all__ = [
     "SimilarityServer",
     "RemoteSimilarityClient",
     "AsyncSimilarityClient",
+    "ClusterCoordinator",
+    "ShardWorker",
 ]

@@ -1,0 +1,758 @@
+"""Multi-machine serving: shard workers, a coordinator, heartbeats, failover.
+
+PR 2 sharded the database across worker *processes* on one box; this
+module fans the same stack out across *machines*, still speaking the one
+framed-message protocol from :mod:`repro.api.transport`:
+
+* :class:`ShardWorker` — a standalone TCP server holding one database
+  shard as a local :class:`~repro.api.service.SimilarityService`. It
+  boots empty; a coordinator's ``join`` handshake ships the backend (via
+  ``backend_state``, the same representation snapshots use) and the index
+  recipe, after which the worker answers the shard commands
+  (``add``/``knn``/``pairwise``/``export``/``ping``/``leave``). The CLI
+  wrapper is ``python -m repro cluster-worker``;
+* :class:`ClusterCoordinator` — connects to N workers, joins each one,
+  round-robins the database across them, and merges per-shard top-k with
+  the exact frontier certificate shared with
+  :class:`~repro.api.serving.ShardedSimilarityService` (via
+  :class:`~repro.api.serving.ShardMergeMixin`) — bit-identical to a
+  single service for exact indexes, recall-≥ for IVF. It satisfies the
+  :class:`~repro.api.protocols.KnnService` protocol, so ``QueryQueue``,
+  ``SimilarityServer`` and both remote clients compose with it unchanged
+  (``python -m repro cluster`` is exactly that composition).
+
+Failure handling: a background heartbeat pings every worker on a
+dedicated connection (lock-free on the worker side, so a busy shard
+still answers); a worker whose process or link has died is marked
+*degraded*, its channels are severed (which unblocks any request
+currently waiting on it), and queries continue against the surviving
+shards instead of hanging. ``add`` requeues a dead worker's chunk onto
+the survivors. Degraded shards are reported in ``stats()``; their
+trajectories are unavailable until re-added or restored.
+
+Sharded snapshots: :meth:`ClusterCoordinator.save` writes one ``.npz``
+per shard plus a JSON manifest (shard count, backend config, index kind,
+format version) and ``backend.npz``; :meth:`ClusterCoordinator.load`
+rebuilds a cluster from the manifest against a *different* worker count
+by reassigning the shard files, global ids preserved. Quickstart::
+
+    from repro.api.cluster import ClusterCoordinator, ShardWorker
+
+    workers = [ShardWorker(), ShardWorker()]        # or two machines
+    with ClusterCoordinator([w.address for w in workers],
+                            backend="hausdorff") as cluster:
+        cluster.add(trajectories)
+        distances, ids = cluster.knn(trajectories[0], k=5, exclude=0)
+        cluster.save("snapshot/")                   # one .npz per shard
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..trajectory import as_points
+from ..trajectory.trajectory import TrajectoryLike
+from .backends import backend_state, restore_backend
+from .protocols import SimilarityBackend, as_backend
+from .registry import get_backend
+from .remote import ThreadedNodeServer, parse_address
+from .service import SimilarityService, _default_index_for
+from .serving import ShardMergeMixin, _as_batch, merge_cache_counters
+from .transport import (
+    OK,
+    RemoteCallError,
+    SocketTransport,
+    TransportClosed,
+    TransportError,
+    request,
+)
+
+__all__ = ["ShardWorker", "ClusterCoordinator", "run_worker",
+           "SNAPSHOT_FORMAT_VERSION", "MANIFEST_NAME"]
+
+#: version stamp of the sharded snapshot layout (manifest + shard files)
+SNAPSHOT_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+_BACKEND_FILE = "backend.npz"
+_SNAPSHOT_KIND = "repro-cluster-snapshot"
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+class ShardWorker(ThreadedNodeServer):
+    """One cluster shard: a TCP server around a local similarity service.
+
+    Boots with no shard; the coordinator's ``join`` carries the backend
+    state and index recipe and (re)builds the service — a later ``join``
+    from a new coordinator replaces the shard, ``leave`` drops it.
+    Connections are independent (the coordinator keeps one for requests
+    and one for heartbeats); shard commands are serialized through one
+    lock, while ``ping`` and ``shutdown`` stay lock-free — a heartbeat
+    must answer even while a long ``add``/``knn`` holds the shard busy,
+    so only a *dead* worker (process or link gone) is ever failed over,
+    never a merely slow one.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction. ``close()`` is abrupt by design: open connections drop,
+    and the coordinator treats the hangup exactly like a crashed worker.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 backlog: int = 16):
+        self._lock = threading.Lock()
+        self._service: Optional[SimilarityService] = None
+        super().__init__(host, port, backlog=backlog)
+
+    def _thread_name(self) -> str:
+        return f"repro-shard-worker:{self.address[1]}"
+
+    def _handlers(self) -> Dict:
+        def service_or_raise() -> SimilarityService:
+            if self._service is None:
+                raise RuntimeError(
+                    "worker holds no shard; the coordinator must send "
+                    "'join' first"
+                )
+            return self._service
+
+        def handle_join(payload):
+            backend_meta, backend_arrays = payload["backend"]
+            service = SimilarityService(
+                backend=restore_backend(backend_meta, dict(backend_arrays)),
+                index=payload.get("index"),
+                index_kwargs=payload.get("index_kwargs"),
+                **(payload.get("service_kwargs") or {}),
+            )
+            self._service = service  # a re-join replaces the shard
+            return {"pid": os.getpid(), "size": len(service)}
+
+        def handle_leave(_payload):
+            self._service = None
+            return None
+
+        def handle_ping(_payload):
+            service = self._service
+            return {"joined": service is not None,
+                    "size": 0 if service is None else len(service)}
+
+        def handle_add(points):
+            service = service_or_raise()
+            service.add(points)
+            return len(service)
+
+        def handle_knn(payload):
+            queries, fetch = payload
+            service = service_or_raise()
+            if len(service) == 0:
+                # An empty shard (database smaller than the cluster)
+                # contributes an all-padding pool.
+                return (np.full((len(queries), fetch), np.inf),
+                        np.full((len(queries), fetch), -1, dtype=np.int64))
+            # No exclude/dedupe here: the coordinator filters after the
+            # merge, where global ids are known.
+            return service.knn(queries, k=fetch)
+
+        def handle_pairwise(queries):
+            return service_or_raise().pairwise(queries)
+
+        def handle_export(_payload):
+            return list(service_or_raise().trajectories)
+
+        def handle_len(_payload):
+            return 0 if self._service is None else len(self._service)
+
+        def handle_stats(_payload):
+            if self._service is None:
+                info: Dict = {"type": type(self).__name__, "joined": False,
+                              "size": 0}
+            else:
+                info = dict(self._service.stats())
+                info["joined"] = True
+            info["pid"] = os.getpid()
+            return info
+
+        def handle_shutdown(_payload):
+            self._shutdown.set()
+            return None
+
+        locked = {name: self._locked(fn) for name, fn in {
+            "join": handle_join,
+            "leave": handle_leave,
+            "add": handle_add,
+            "knn": handle_knn,
+            "pairwise": handle_pairwise,
+            "export": handle_export,
+            "len": handle_len,
+            "stats": handle_stats,
+        }.items()}
+        # ping/shutdown bypass the shard lock: liveness checks and kill
+        # switches must answer while a long request holds the shard busy
+        # (they only read or flip flag state).
+        return {**locked, "ping": handle_ping, "shutdown": handle_shutdown}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop serving and drop open connections (idempotent)."""
+        super().close(abort_connections=True)
+
+    def __enter__(self) -> "ShardWorker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "listening"
+        joined = "no shard" if self._service is None else (
+            f"shard of {len(self._service)}")
+        return (f"ShardWorker({self.address[0]}:{self.address[1]}, "
+                f"{state}, {joined})")
+
+
+def run_worker(host: str = "127.0.0.1", port: int = 0,
+               ready_file: Optional[str] = None) -> int:
+    """Boot a :class:`ShardWorker` and serve until shutdown (the CLI body)."""
+    worker = ShardWorker(host, port)
+    bound_host, bound_port = worker.address
+    print(f"cluster worker listening on {bound_host}:{bound_port}",
+          flush=True)
+    if ready_file:
+        # Written only after the port is bound: launchers poll this file
+        # instead of racing the bind (off-machine callers rely on the
+        # coordinator's connect retries instead).
+        with open(ready_file, "w") as handle:
+            handle.write(f"{bound_host}:{bound_port}\n")
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        worker.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class _WorkerLink:
+    """Coordinator-side state for one shard worker."""
+
+    __slots__ = ("shard", "address", "transport", "heartbeat", "alive",
+                 "reason")
+
+    def __init__(self, shard: int, address: Tuple[str, int]):
+        self.shard = shard
+        self.address = address
+        self.transport: Optional[SocketTransport] = None
+        self.heartbeat: Optional[SocketTransport] = None
+        self.alive = False
+        self.reason: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+
+class ClusterCoordinator(ShardMergeMixin):
+    """kNN serving over a database partitioned across remote shard workers.
+
+    The multi-machine sibling of
+    :class:`~repro.api.serving.ShardedSimilarityService`: trajectories are
+    assigned round-robin to the workers named in ``workers`` (each a
+    running :class:`ShardWorker`), the backend ships once per worker in
+    the ``join`` handshake, and queries merge per-shard top-k through the
+    shared :class:`~repro.api.serving.ShardMergeMixin` — bit-identical to
+    a single :class:`~repro.api.service.SimilarityService` for exact
+    shard indexes, recall-≥ for IVF.
+
+    ``heartbeat_interval > 0`` starts a background pinger; a worker whose
+    process or link has died (pings answer lock-free on the worker, so a
+    busy shard never trips this) is marked degraded within
+    ``heartbeat_timeout`` and failed over — in-flight requests against it
+    unblock with the surviving shards' answer instead of hanging. Worker
+    RPC is serialized through an internal lock, so ``stats()`` from a
+    monitoring thread can never interleave frames with a query in flight;
+    for concurrent *callers*, put a
+    :class:`~repro.api.serving.QueryQueue` or
+    :class:`~repro.api.remote.SimilarityServer` in front — both compose
+    unchanged because the coordinator satisfies
+    :class:`~repro.api.protocols.KnnService`.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Union[str, Tuple[str, int]]],
+        backend: Union[str, SimilarityBackend, object] = "trajcl",
+        index: Optional[str] = None,
+        *,
+        backend_kwargs: Optional[Dict] = None,
+        index_kwargs: Optional[Dict] = None,
+        batch_size: int = 256,
+        cache_size: int = 4096,
+        heartbeat_interval: float = 2.0,
+        heartbeat_timeout: float = 10.0,
+        connect_retries: int = 5,
+        retry_wait: float = 0.1,
+        shutdown_workers_on_close: bool = False,
+    ):
+        addresses = [parse_address(worker) for worker in workers]
+        if not addresses:
+            raise ValueError("workers must name at least one host:port")
+        if index is not None and not isinstance(index, str):
+            raise TypeError(
+                "cluster workers build one index each; pass the index by "
+                "name (or None for the backend's default)"
+            )
+        if isinstance(backend, str):
+            backend = get_backend(backend, **(backend_kwargs or {}))
+        else:
+            backend = as_backend(backend)
+        self.backend = backend
+        if index is None:
+            index = _default_index_for(backend)
+        self.index_name = index
+        self._exact_shards = index != "ivf"
+        self._index_kwargs = index_kwargs
+        self._batch_size = int(batch_size)
+        self._cache_size = int(cache_size)
+        self.heartbeat_interval = float(heartbeat_interval or 0.0)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.shutdown_workers_on_close = bool(shutdown_workers_on_close)
+        self._shard_ids: List[List[int]] = [[] for _ in addresses]
+        self._size = 0
+        self._closed = False
+        self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        # Serializes every exchange on the request transports: a stats()
+        # probe (e.g. a server's handler thread) must never interleave
+        # frames with a query another thread has in flight.
+        self._rpc_lock = threading.Lock()
+        self._links = [_WorkerLink(shard, address)
+                       for shard, address in enumerate(addresses)]
+
+        meta, arrays = backend_state(backend)  # wire-portable form
+        join_payload = {
+            "backend": (meta, arrays),
+            "index": index,
+            "index_kwargs": index_kwargs,
+            "service_kwargs": {"batch_size": self._batch_size,
+                               "cache_size": self._cache_size},
+        }
+        try:
+            for link in self._links:
+                link.transport = SocketTransport.connect(
+                    *link.address, retries=connect_retries,
+                    retry_wait=retry_wait)
+                link.heartbeat = SocketTransport.connect(
+                    *link.address, retries=connect_retries,
+                    retry_wait=retry_wait)
+                request(link.transport, "join", join_payload,
+                        who=f"cluster worker {link.label}")
+                link.alive = True
+        except (TransportError, RemoteCallError):
+            self.close()
+            raise
+        if self.heartbeat_interval > 0:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, daemon=True,
+                name="repro-cluster-heartbeat",
+            )
+            self._heartbeat_thread.start()
+
+    # ------------------------------------------------------------------
+    # Worker registry / failover
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._links)
+
+    @property
+    def degraded_shards(self) -> List[int]:
+        """Shard indices whose worker has been failed over."""
+        return [link.shard for link in self._links if not link.alive]
+
+    @property
+    def shard_sizes(self) -> List[int]:
+        return [len(ids) for ids in self._shard_ids]
+
+    def _degrade(self, link: _WorkerLink, reason: str) -> None:
+        """Mark a worker dead and sever its channels (idempotent).
+
+        Closing the request transport also unblocks any caller currently
+        waiting on that worker — its ``recv`` raises instead of hanging,
+        and the merge proceeds over the surviving shards.
+        """
+        if not link.alive:
+            return
+        link.alive = False
+        link.reason = str(reason)
+        for transport in (link.transport, link.heartbeat):
+            if transport is not None:
+                try:
+                    transport.close()
+                except Exception:
+                    pass
+
+    def _alive_links(self) -> List[_WorkerLink]:
+        links = [link for link in self._links if link.alive]
+        if not links:
+            raise RuntimeError(
+                f"no alive cluster workers ({len(self._links)} degraded)")
+        return links
+
+    def _shard_query(self, command, payload):
+        """The :class:`ShardMergeMixin` hook, with failover.
+
+        Fans the command to every alive worker, drains every reply, and
+        returns the answers from the shards that survived; a worker whose
+        channel fails mid-exchange is degraded in place rather than
+        aborting the query. Worker-*reported* errors (the request itself
+        was bad) still raise after the drain.
+        """
+        if self._closed:
+            raise RuntimeError("coordinator is closed")
+        with self._rpc_lock:
+            sent = []
+            for link in self._alive_links():
+                try:
+                    link.transport.send((command, payload))
+                    sent.append(link)
+                except TransportError as error:
+                    self._degrade(link, f"send failed: {error}")
+            answered, failures = [], []
+            for link in sent:
+                try:
+                    status, result = link.transport.recv()
+                except TransportError as error:
+                    self._degrade(link, f"recv failed: {error}")
+                    continue
+                if status != OK:
+                    failures.append(str(result))
+                else:
+                    answered.append((self._shard_ids[link.shard], result))
+        if failures:
+            raise RemoteCallError("cluster worker failed:\n"
+                                  + "\n".join(failures))
+        if not answered:
+            raise RuntimeError(
+                "all cluster workers failed; no shards left to answer")
+        return answered
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            for link in list(self._links):
+                if self._stop.is_set():
+                    return
+                if not link.alive:
+                    continue
+                try:
+                    link.heartbeat.send(("ping", None))
+                    if not link.heartbeat.poll(self.heartbeat_timeout):
+                        raise TransportClosed(
+                            f"no heartbeat reply within "
+                            f"{self.heartbeat_timeout}s")
+                    status, _result = link.heartbeat.recv()
+                    if status != OK:
+                        raise TransportClosed("heartbeat error reply")
+                except TransportError as error:
+                    self._degrade(link, f"heartbeat failed: {error}")
+
+    # ------------------------------------------------------------------
+    # Database
+    # ------------------------------------------------------------------
+    def add(self, trajectories: Sequence[TrajectoryLike]) -> "ClusterCoordinator":
+        """Round-robin the trajectories across the alive workers.
+
+        A worker that dies mid-``add`` has its chunk *requeued* onto the
+        survivors (global ids are independent of shard placement, so the
+        reassignment is invisible to queries). A chunk the dead worker
+        stored before crashing is unreachable along with the rest of its
+        shard, so no id can ever be answered twice.
+        """
+        if self._closed:
+            raise RuntimeError("coordinator is closed")
+        batch = [as_points(t) for t in _as_batch(trajectories)]
+        if not batch:
+            return self
+        targets = self._alive_links()
+        order = [link.shard for link in targets]
+        chunks: Dict[int, Tuple[List[np.ndarray], List[int]]] = {
+            link.shard: ([], []) for link in targets}
+        for offset, points in enumerate(batch):
+            shard = order[offset % len(order)]
+            chunks[shard][0].append(points)
+            chunks[shard][1].append(self._size + offset)
+        while chunks:
+            by_shard = {link.shard: link for link in self._links}
+            pending = [by_shard[shard] for shard in sorted(chunks)]
+            with self._rpc_lock:
+                sent = []
+                for link in pending:
+                    try:
+                        link.transport.send(("add", chunks[link.shard][0]))
+                        sent.append(link)
+                    except TransportError as error:
+                        self._degrade(link, f"send failed: {error}")
+                failed = [link.shard for link in pending if link not in sent]
+                errors = []
+                for link in sent:
+                    try:
+                        status, result = link.transport.recv()
+                    except TransportError as error:
+                        self._degrade(link, f"recv failed: {error}")
+                        failed.append(link.shard)
+                        continue
+                    if status != OK:
+                        errors.append(str(result))
+                        continue
+                    _points, ids = chunks.pop(link.shard)
+                    self._shard_ids[link.shard].extend(ids)
+            if errors:
+                # A worker *executed* add and reported failure: shards now
+                # disagree about the database. Refuse further use rather
+                # than misattribute neighbour ids (same policy as the
+                # process-sharded service).
+                self.close()
+                raise RemoteCallError("cluster worker add failed:\n"
+                                      + "\n".join(errors))
+            if failed:
+                survivors = self._alive_links()  # raises when none remain
+                spilled: List[Tuple[np.ndarray, int]] = []
+                for shard in failed:
+                    points, ids = chunks.pop(shard)
+                    spilled.extend(zip(points, ids))
+                order = [link.shard for link in survivors]
+                requeued: Dict[int, Tuple[List[np.ndarray], List[int]]] = {
+                    link.shard: ([], []) for link in survivors}
+                for n, (points, global_id) in enumerate(spilled):
+                    shard = order[n % len(order)]
+                    requeued[shard][0].append(points)
+                    requeued[shard][1].append(global_id)
+                chunks = {shard: chunk for shard, chunk in requeued.items()
+                          if chunk[1]}
+        self._size += len(batch)
+        return self
+
+    # ``pairwise``/``knn``/``__len__`` come from ShardMergeMixin.
+
+    def stats(self) -> Dict:
+        """Cluster health on the shared key set, with per-shard breakdown.
+
+        Degraded workers appear in ``"degraded"`` and as
+        ``alive: False`` entries under ``"shards"`` (with the failure
+        reason); cache counters aggregate over the alive workers.
+        """
+        per_worker: Dict[int, Dict] = {}
+        if not self._closed:
+            with self._rpc_lock:
+                for link in list(self._links):
+                    if not link.alive:
+                        continue
+                    try:
+                        per_worker[link.shard] = request(
+                            link.transport, "stats",
+                            who=f"cluster worker {link.label}")
+                    except TransportError as error:
+                        self._degrade(link, f"stats failed: {error}")
+                    except RemoteCallError:
+                        pass
+        shards = []
+        for link in self._links:
+            entry: Dict = {
+                "shard": link.shard,
+                "address": link.label,
+                "size": len(self._shard_ids[link.shard]),
+                "alive": link.alive,
+            }
+            if not link.alive:
+                entry["reason"] = link.reason
+            worker = per_worker.get(link.shard)
+            if worker is not None and "cache" in worker:
+                entry["cache"] = worker["cache"]
+            shards.append(entry)
+        return {
+            "type": type(self).__name__,
+            "backend": self.backend.name,
+            "kind": self.backend.kind,
+            "index": self.index_name or "scan",
+            "size": self._size,
+            "workers": len(self._links),
+            "alive_workers": sum(1 for link in self._links if link.alive),
+            "degraded": self.degraded_shards,
+            "shard_sizes": self.shard_sizes,
+            "shards": shards,
+            "cache": merge_cache_counters(
+                [entry["cache"] for entry in shards if "cache" in entry]),
+        }
+
+    # ------------------------------------------------------------------
+    # Sharded snapshots
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Snapshot the cluster: one ``.npz`` per shard plus a manifest.
+
+        Layout: ``shard_NNNN.npz`` (trajectories + their global ids),
+        ``backend.npz`` (backend weights) and ``manifest.json`` (format
+        version, shard count, backend config, index kind). Refuses to
+        snapshot a degraded cluster — the lost shard's trajectories would
+        silently vanish from the restored database.
+        """
+        degraded = self.degraded_shards
+        if degraded:
+            raise RuntimeError(
+                f"cannot snapshot a degraded cluster (lost shards "
+                f"{degraded}); the snapshot would drop their trajectories")
+        exports = self._shard_query("export", None)
+        if len(exports) != len(self._links):
+            raise RuntimeError(
+                "a worker was lost while exporting; snapshot aborted")
+        os.makedirs(directory, exist_ok=True)
+        shard_files = []
+        for shard, (ids, trajectories) in enumerate(exports):
+            if len(ids) != len(trajectories):
+                raise RuntimeError(
+                    f"shard {shard} exported {len(trajectories)} "
+                    f"trajectories but owns {len(ids)} ids")
+            name = f"shard_{shard:04d}.npz"
+            payload = {
+                "format_version": np.array(SNAPSHOT_FORMAT_VERSION),
+                "count": np.array(len(trajectories)),
+                "ids": np.asarray(ids, dtype=np.int64),
+            }
+            for j, points in enumerate(trajectories):
+                payload[f"traj_{j}"] = np.asarray(points)
+            np.savez_compressed(os.path.join(directory, name), **payload)
+            shard_files.append(name)
+        backend_meta, backend_arrays = backend_state(self.backend)
+        np.savez_compressed(os.path.join(directory, _BACKEND_FILE),
+                            **backend_arrays)
+        manifest = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "kind": _SNAPSHOT_KIND,
+            "size": self._size,
+            "shards": len(self._links),
+            "shard_files": shard_files,
+            "shard_sizes": self.shard_sizes,
+            "backend": backend_meta,
+            "index": self.index_name,
+            "index_kwargs": self._index_kwargs,
+            "batch_size": self._batch_size,
+            "cache_size": self._cache_size,
+        }
+        with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
+            json.dump(manifest, handle, indent=2)
+
+    @classmethod
+    def load(cls, directory: str,
+             workers: Sequence[Union[str, Tuple[str, int]]],
+             **kwargs) -> "ClusterCoordinator":
+        """Restore a cluster from :meth:`save` onto ``workers``.
+
+        The worker count may differ from the snapshot's: trajectories are
+        reassembled in global-id order and re-dealt round-robin, so ids —
+        and therefore every kNN answer over an exact index — are
+        preserved bit-for-bit regardless of the new shard layout.
+        """
+        with open(os.path.join(directory, MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        if manifest.get("kind") != _SNAPSHOT_KIND:
+            raise ValueError(f"{directory!r} is not a cluster snapshot")
+        version = manifest.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported cluster snapshot version {version!r}")
+        with np.load(os.path.join(directory, _BACKEND_FILE)) as archive:
+            arrays = {key: archive[key].copy() for key in archive.files}
+        backend = restore_backend(manifest["backend"], arrays)
+        kwargs.setdefault("index_kwargs", manifest.get("index_kwargs"))
+        kwargs.setdefault("batch_size", manifest.get("batch_size", 256))
+        kwargs.setdefault("cache_size", manifest.get("cache_size", 4096))
+        coordinator = cls(workers, backend=backend,
+                          index=manifest.get("index"), **kwargs)
+        try:
+            slots: List[Optional[np.ndarray]] = [None] * int(manifest["size"])
+            for name in manifest["shard_files"]:
+                with np.load(os.path.join(directory, name)) as archive:
+                    ids = archive["ids"]
+                    for j, global_id in enumerate(ids):
+                        slots[int(global_id)] = archive[f"traj_{j}"].copy()
+            missing = [i for i, points in enumerate(slots) if points is None]
+            if missing:
+                raise ValueError(
+                    f"cluster snapshot {directory!r} is missing "
+                    f"trajectories {missing[:5]}"
+                    f"{'...' if len(missing) > 5 else ''}")
+            coordinator.add(slots)
+        except Exception:
+            coordinator.close()
+            raise
+        return coordinator
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, shutdown_workers: Optional[bool] = None) -> None:
+        """Detach from the workers (idempotent).
+
+        By default the workers keep running (``leave`` clears this
+        coordinator's shard so a future one can ``join`` fresh); with
+        ``shutdown_workers=True`` — or ``shutdown_workers_on_close`` set
+        at construction — each worker is told to exit instead.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if shutdown_workers is None:
+            shutdown_workers = self.shutdown_workers_on_close
+        self._stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=self.heartbeat_timeout + 1.0)
+        # Bounded wait for any in-flight RPC; a wedged exchange must delay
+        # close, never block it.
+        acquired = self._rpc_lock.acquire(timeout=5.0)
+        try:
+            for link in self._links:
+                if link.alive and link.transport is not None:
+                    for command in (("shutdown",) if shutdown_workers
+                                    else ("leave", "stop")):
+                        try:
+                            link.transport.send((command, None))
+                            if link.transport.poll(1.0):
+                                link.transport.recv()
+                        except TransportError:
+                            break
+                for transport in (link.transport, link.heartbeat):
+                    if transport is not None:
+                        try:
+                            transport.close()
+                        except Exception:
+                            pass
+        finally:
+            if acquired:
+                self._rpc_lock.release()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        alive = sum(1 for link in self._links if link.alive)
+        return (
+            f"ClusterCoordinator(backend={self.backend.name!r}, "
+            f"index={self.index_name!r}, workers={alive}/{len(self._links)} "
+            f"alive, size={self._size})"
+        )

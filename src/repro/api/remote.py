@@ -78,9 +78,131 @@ def parse_address(address: Union[str, Tuple[str, int]],
 
 
 # ----------------------------------------------------------------------
+# Server scaffolding
+# ----------------------------------------------------------------------
+class ThreadedNodeServer:
+    """Threaded TCP scaffolding for a :class:`ServiceNode`-per-connection
+    server.
+
+    Shared by :class:`SimilarityServer` and
+    :class:`~repro.api.cluster.ShardWorker`: a listener with a short
+    accept timeout (so the loop stays responsive to the shutdown flag —
+    closing a listener does not reliably wake a blocked ``accept()``),
+    one daemon thread per connection running the subclass's
+    :meth:`_handlers`, dead-connection pruning, and a bounded
+    :meth:`close`. Subclasses may define ``self._lock`` (before calling
+    ``super().__init__``) and wrap handlers with :meth:`_locked`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 backlog: int = 32):
+        # The flag exists before the accept thread does, so close() can
+        # never race a half-built server.
+        self._shutdown = threading.Event()
+        self._connections: List[SocketTransport] = []
+        self._connection_threads: List[threading.Thread] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self._listener.settimeout(0.2)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name=self._thread_name(),
+        )
+        self._accept_thread.start()
+
+    # -- subclass hooks -------------------------------------------------
+    def _handlers(self) -> Dict:
+        """The dispatch table each connection's ServiceNode runs."""
+        raise NotImplementedError
+
+    def _node_kwargs(self) -> Dict:
+        """Extra ServiceNode arguments (e.g. request accounting)."""
+        return {"should_stop": self._shutdown.is_set}
+
+    def _thread_name(self) -> str:
+        return f"repro-node-server:{self.address[1]}"
+
+    def _locked(self, fn):
+        def call(payload):
+            with self._lock:
+                return fn(payload)
+        return call
+
+    # -- accept + per-connection loops ----------------------------------
+    def _accept_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by close()
+            sock.settimeout(None)
+            # Prune finished connections so a long-lived server does not
+            # accumulate one dead Thread object per client ever served.
+            alive = [
+                (transport, thread)
+                for transport, thread in zip(self._connections,
+                                             self._connection_threads)
+                if thread.is_alive()
+            ]
+            self._connections = [transport for transport, _ in alive]
+            self._connection_threads = [thread for _, thread in alive]
+            transport = SocketTransport(sock)
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(transport,), daemon=True)
+            self._connections.append(transport)
+            self._connection_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, transport: SocketTransport) -> None:
+        node = ServiceNode(transport, self._handlers(), **self._node_kwargs())
+        try:
+            node.serve_forever()
+        finally:
+            transport.close()
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._shutdown.is_set()
+
+    def serve_forever(self, poll_interval: float = 0.1) -> None:
+        """Block the calling thread until :meth:`close` (or a shutdown)."""
+        while not self._shutdown.wait(poll_interval):
+            pass
+        self.close()
+
+    def close(self, grace: float = 5.0, *,
+              abort_connections: bool = False) -> None:
+        """Stop accepting and wind the connections down (idempotent).
+
+        By default in-flight requests finish (connection loops watch the
+        shutdown flag between requests); ``abort_connections=True`` drops
+        the open sockets immediately instead.
+        """
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if abort_connections:
+            for transport in list(self._connections):
+                try:
+                    transport.close()
+                except Exception:
+                    pass
+        self._accept_thread.join(timeout=grace)
+        for thread in list(self._connection_threads):
+            thread.join(timeout=grace)
+
+
+# ----------------------------------------------------------------------
 # Server
 # ----------------------------------------------------------------------
-class SimilarityServer:
+class SimilarityServer(ThreadedNodeServer):
     """Threaded TCP server exposing a kNN service on the wire protocol.
 
     Commands: ``add``, ``knn``, ``pairwise``, ``len``, ``stats`` (plus the
@@ -106,25 +228,17 @@ class SimilarityServer:
     ):
         self.service = service
         self._lock = threading.Lock()
-        self._shutdown = threading.Event()
         self._count_lock = threading.Lock()
         self._request_count = 0
         self._max_requests = max_requests
-        self._connection_threads: List[threading.Thread] = []
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(backlog)
-        # Closing a listener does not reliably wake a blocked accept(); a
-        # short timeout keeps the accept loop responsive to the shutdown
-        # flag (set here, before the thread exists, to avoid racing close).
-        self._listener.settimeout(0.2)
-        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name=f"repro-similarity-server:{self.address[1]}",
-        )
-        self._accept_thread.start()
+        super().__init__(host, port, backlog=backlog)
+
+    def _thread_name(self) -> str:
+        return f"repro-similarity-server:{self.address[1]}"
+
+    def _node_kwargs(self) -> Dict:
+        return {"should_stop": self._shutdown.is_set,
+                "on_request": self._count_request}
 
     @property
     def host(self) -> str:
@@ -133,37 +247,6 @@ class SimilarityServer:
     @property
     def port(self) -> int:
         return self.address[1]
-
-    # ------------------------------------------------------------------
-    # Accept + per-connection loops
-    # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
-        while not self._shutdown.is_set():
-            try:
-                sock, _peer = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break  # listener closed by close()
-            sock.settimeout(None)
-            # Prune finished connections so a long-lived server does not
-            # accumulate one dead Thread object per client ever served.
-            self._connection_threads = [
-                t for t in self._connection_threads if t.is_alive()
-            ]
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(SocketTransport(sock),),
-                daemon=True,
-            )
-            self._connection_threads.append(thread)
-            thread.start()
-
-    def _locked(self, fn):
-        def call(payload):
-            with self._lock:
-                return fn(payload)
-        return call
 
     def _handlers(self) -> Dict:
         service = self.service
@@ -199,18 +282,13 @@ class SimilarityServer:
             return len(service)
 
         def handle_stats(_payload):
+            # Every service layer (plain, sharded, cluster, queue) now
+            # answers stats() on the shared key set; just annotate it.
             stats = getattr(service, "stats", None)
             if callable(stats):
-                info = stats()
-            elif stats is not None:  # QueryQueue exposes a property
-                info = dict(stats._asdict())
-                info["type"] = type(service).__name__
-                inner = getattr(service.service, "stats", None)
-                if callable(inner):
-                    info["service"] = inner()
+                info = dict(stats())
             else:
                 info = {"type": type(service).__name__}
-            info = dict(info)
             info["requests"] = self._request_count
             return info
 
@@ -245,47 +323,11 @@ class SimilarityServer:
         if self._max_requests is not None and count >= self._max_requests:
             self._shutdown.set()
 
-    def _serve_connection(self, transport: SocketTransport) -> None:
-        node = ServiceNode(
-            transport,
-            self._handlers(),
-            should_stop=self._shutdown.is_set,
-            on_request=self._count_request,
-        )
-        try:
-            node.serve_forever()
-        finally:
-            transport.close()
-
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle: ThreadedNodeServer's graceful close — a query already
+    # dispatched completes and its reply is sent before the connection
+    # winds down.
     # ------------------------------------------------------------------
-    def serve_forever(self, poll_interval: float = 0.1) -> None:
-        """Block the calling thread until :meth:`close` (or max_requests)."""
-        while not self._shutdown.wait(poll_interval):
-            pass
-        self.close()
-
-    def close(self, grace: float = 5.0) -> None:
-        """Graceful shutdown: stop accepting, let in-flight queries finish.
-
-        Connection loops check the shutdown flag between requests, so a
-        query already dispatched completes and its reply is sent before
-        the connection winds down. Idempotent.
-        """
-        self._shutdown.set()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        self._accept_thread.join(timeout=grace)
-        for thread in list(self._connection_threads):
-            thread.join(timeout=grace)
-
-    @property
-    def closed(self) -> bool:
-        return self._shutdown.is_set()
-
     def __enter__(self) -> "SimilarityServer":
         return self
 
@@ -316,11 +358,17 @@ class RemoteSimilarityClient:
 
     def __init__(self, address: Union[str, Tuple[str, int]],
                  port: Optional[int] = None, *,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 connect_retries: int = 3, retry_wait: float = 0.1):
         self.address = parse_address(address, port)
         self._lock = threading.Lock()
+        # Bounded connect retry with backoff: a client launched alongside
+        # the server no longer races its bind (a --ready-file only helps
+        # launchers on the same machine).
         self._transport = SocketTransport.connect(*self.address,
-                                                  timeout=timeout)
+                                                  timeout=timeout,
+                                                  retries=connect_retries,
+                                                  retry_wait=retry_wait)
         self._closed = False
 
     def _call(self, command: str, payload=None):

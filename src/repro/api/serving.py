@@ -53,6 +53,7 @@ from .registry import get_backend
 from .service import SimilarityService, _default_index_for
 from .transport import (
     PipeTransport,
+    RemoteCallError,
     ServiceNode,
     TransportError,
     broadcast,
@@ -63,7 +64,17 @@ from .transport import (
 #: the two must never disagree on what counts as one trajectory
 _as_batch = SimilarityService._as_batch
 
-__all__ = ["ShardedSimilarityService", "QueryQueue", "QueueStats"]
+__all__ = ["ShardedSimilarityService", "QueryQueue", "QueueStats",
+           "ShardMergeMixin", "merge_cache_counters"]
+
+
+def merge_cache_counters(counters: Sequence[Dict]) -> Dict:
+    """Sum per-shard embedding-cache counters into one fleet-wide view."""
+    total = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
+    for info in counters:
+        for key in total:
+            total[key] += int(info.get(key, 0))
+    return total
 
 
 # ----------------------------------------------------------------------
@@ -109,11 +120,178 @@ def _shard_worker(transport, backend_meta, backend_arrays, index,
         "knn": handle_knn,
         "pairwise": service.pairwise,
         "len": lambda _payload: len(service),
+        "stats": lambda _payload: service.stats(),
     })
     node.serve_forever()
 
 
-class ShardedSimilarityService:
+# ----------------------------------------------------------------------
+# Shared fan-out/merge logic
+# ----------------------------------------------------------------------
+class ShardMergeMixin:
+    """Query-side fan-out and merge shared by every sharded service.
+
+    :class:`ShardedSimilarityService` (worker *processes* over pipes) and
+    :class:`~repro.api.cluster.ClusterCoordinator` (worker *machines* over
+    sockets) differ only in how a command reaches the shards. The merge —
+    per-shard over-fetch, distance-then-id ordering, and the frontier
+    certificate that makes exact shard indexes bit-identical to one
+    unsharded service — lives here once, so the two can never drift.
+
+    Subclass contract:
+
+    * ``self._size`` — total database size (global ids ``0.._size-1``);
+    * ``self._exact_shards`` — False when shard indexes answer
+      approximately (IVF), which disables the frontier certificate;
+    * ``self.backend`` — for ad-hoc ``pairwise`` against an explicit
+      database;
+    * ``_shard_query(command, payload)`` — deliver one command to every
+      reachable shard and return ``[(global_ids, reply), ...]`` for the
+      shards that answered, raising only when none can. A subclass with
+      failover (the cluster coordinator) may return fewer entries than it
+      has shards; the merge then covers whatever survived.
+    """
+
+    def pairwise(
+        self,
+        queries: Sequence[TrajectoryLike],
+        database: Optional[Sequence[TrajectoryLike]] = None,
+    ) -> np.ndarray:
+        """Dense ``(|Q|, |D|)`` distances; D defaults to the sharded database."""
+        queries = _as_batch(queries)
+        if database is not None:
+            return self.backend.pairwise(queries, database)
+        out = np.zeros((len(queries), self._size))
+        if not queries or self._size == 0:
+            return out
+        filled = np.zeros(self._size, dtype=bool)
+        for ids, block in self._shard_query("pairwise", list(queries)):
+            if len(ids):
+                out[:, ids] = block
+                filled[ids] = True
+        if not filled.all():
+            # Columns no shard answered for (a degraded cluster shard):
+            # inf, never a misleading zero distance.
+            out[:, ~filled] = np.inf
+        return out
+
+    distance_matrix = pairwise
+
+    def knn(
+        self,
+        queries: Sequence[TrajectoryLike],
+        k: int,
+        exclude: Optional[int] = None,
+        dedupe_eps: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merged ``k`` nearest global ids per query: ``(distances, indices)``.
+
+        Same contract as :meth:`SimilarityService.knn` — ``exclude`` and
+        ``dedupe_eps`` filter without shrinking the result below ``k``; rows
+        pad with ``inf``/``-1`` only when the database is too small.
+        """
+        if self._size == 0:
+            raise RuntimeError("service database is empty; call add() first")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = [as_points(t) for t in _as_batch(queries)]
+        if not queries:
+            return (np.empty((0, k)), np.empty((0, k), dtype=np.int64))
+        dropped = (1 if exclude is not None else 0)
+        fetch = k + dropped + (1 if dedupe_eps is not None else 0)
+        while True:
+            pool_d, pool_i, frontiers = self._fetch_candidates(queries, fetch)
+            # Shard sizes come from the shards that actually answered, so
+            # a worker lost mid-query shrinks the merge instead of
+            # stalling it (a shard's over-fetch never exceeds its size).
+            largest_shard = max(size for size, _, _ in frontiers)
+            if largest_shard == 0:
+                return (np.full((len(queries), k), np.inf),
+                        np.full((len(queries), k), -1, dtype=np.int64))
+            fetch = min(fetch, largest_shard)
+            out_d = np.full((len(queries), k), np.inf)
+            out_i = np.full((len(queries), k), -1, dtype=np.int64)
+            short = False
+            for row in range(len(queries)):
+                row_d, row_i = pool_d[row], pool_i[row]
+                keep = row_i >= 0
+                if exclude is not None:
+                    keep &= row_i != exclude
+                if dedupe_eps is not None:
+                    keep &= row_d > dedupe_eps
+                row_d, row_i = row_d[keep], row_i[keep]
+                # Global merge order: distance first, database id on ties —
+                # exactly the single-service ranking.
+                order = np.lexsort((row_i, row_d))[:k]
+                if fetch < largest_shard and (
+                    len(order) < k
+                    or (self._exact_shards and not self._frontiers_cover(
+                        frontiers, row, fetch,
+                        row_d[order[-1]], row_i[order[-1]],
+                    ))
+                ):
+                    short = True
+                    break
+                out_d[row, :len(order)] = row_d[order]
+                out_i[row, :len(order)] = row_i[order]
+            if short:
+                fetch = min(largest_shard, max(fetch * 2, k + 1))
+                continue
+            return out_d, out_i
+
+    @staticmethod
+    def _frontiers_cover(frontiers, row, fetch, kth_d, kth_i) -> bool:
+        """True when no shard can still hold a better-than-kth candidate.
+
+        A shard's unreturned candidates all rank (by distance, then id)
+        after the last candidate it did return — its *frontier*. The merged
+        top-k is final once every non-exhausted shard's frontier ranks at
+        or after the k-th selected result; otherwise a deeper fetch into
+        that shard could still improve the answer (e.g. when ``dedupe_eps``
+        filtered away a shard's entire contribution).
+        """
+        for size, frontier_d, frontier_i in frontiers:
+            if size <= fetch:
+                continue  # shard fully fetched; nothing deeper exists
+            w_d, w_i = frontier_d[row], frontier_i[row]
+            if w_d < kth_d or (w_d == kth_d and w_i < kth_i):
+                return False
+        return True
+
+    def _fetch_candidates(self, queries, fetch):
+        """Per-shard top-``fetch`` pools with ids mapped to global space.
+
+        Returns the concatenated ``(distances, global_ids)`` pools plus each
+        answering shard's ``(size, frontier_d, frontier_i)`` — the frontier
+        being the last (worst) candidate it returned per row — which
+        :meth:`_frontiers_cover` uses to certify the merge.
+        """
+        replies = self._shard_query("knn", (queries, fetch))
+        pool_d, pool_i, frontiers = [], [], []
+        for ids, (distances, locals_) in replies:
+            ids_arr = np.asarray(ids, dtype=np.int64)
+            if len(ids_arr):
+                globals_ = np.where(locals_ >= 0,
+                                    ids_arr[np.clip(locals_, 0, None)], -1)
+            else:
+                globals_ = np.full_like(locals_, -1)
+            pool_d.append(distances)
+            pool_i.append(globals_)
+            valid_counts = (globals_ >= 0).sum(axis=1)
+            last = np.clip(valid_counts - 1, 0, None)
+            rows = np.arange(len(globals_))
+            frontier_d = np.where(valid_counts > 0, distances[rows, last],
+                                  np.inf)
+            frontier_i = np.where(valid_counts > 0, globals_[rows, last], -1)
+            frontiers.append((len(ids_arr), frontier_d, frontier_i))
+        return (np.concatenate(pool_d, axis=1),
+                np.concatenate(pool_i, axis=1), frontiers)
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class ShardedSimilarityService(ShardMergeMixin):
     """kNN serving over a database partitioned across worker processes.
 
     Trajectories are assigned round-robin to ``num_workers`` shards, each a
@@ -166,6 +344,11 @@ class ShardedSimilarityService:
         self._shard_ids: List[List[int]] = [[] for _ in range(self.num_workers)]
         self._size = 0
         self._closed = False
+        # Serializes every exchange on the worker pipes: a stats() probe
+        # (e.g. a server handler thread, while a QueryQueue flush thread
+        # owns the query path) must never interleave frames with an RPC
+        # another thread has in flight.
+        self._rpc_lock = threading.Lock()
 
         meta, arrays = backend_state(backend)  # process-portable form
         if start_method is None:
@@ -206,10 +389,16 @@ class ShardedSimilarityService:
         if self._closed:
             raise RuntimeError("service is closed")
         try:
-            return broadcast(self._transports, command, payloads,
-                             who="shard worker")
+            with self._rpc_lock:
+                return broadcast(self._transports, command, payloads,
+                                 who="shard worker")
         except TransportError as error:
             raise RuntimeError(f"shard worker failed: {error}") from error
+
+    def _shard_query(self, command, payload):
+        """The :class:`ShardMergeMixin` hook: same payload to every shard."""
+        replies = self._broadcast(command, [payload] * self.num_workers)
+        return list(zip(self._shard_ids, replies))
 
     # ------------------------------------------------------------------
     # Database
@@ -240,152 +429,43 @@ class ShardedSimilarityService:
         self._size += len(batch)
         return self
 
-    def __len__(self) -> int:
-        return self._size
-
     @property
     def shard_sizes(self) -> List[int]:
         """Number of database trajectories held by each worker."""
         return [len(ids) for ids in self._shard_ids]
 
     def stats(self) -> Dict:
-        """Serving metadata (shape mirrors :meth:`SimilarityService.stats`)."""
+        """Serving metadata on the shared key set: backend/index/size plus
+        aggregated cache counters and a per-shard breakdown."""
+        shard_stats: List[Optional[Dict]] = [None] * self.num_workers
+        if not self._closed:
+            try:
+                shard_stats = self._broadcast("stats",
+                                              [None] * self.num_workers)
+            except (RuntimeError, RemoteCallError):
+                pass  # stats must stay answerable beside a dying worker
+        shards = []
+        for shard, worker in enumerate(shard_stats):
+            entry: Dict = {"shard": shard,
+                           "size": len(self._shard_ids[shard])}
+            if worker is not None and "cache" in worker:
+                entry["cache"] = worker["cache"]
+            shards.append(entry)
         return {
             "type": type(self).__name__,
             "backend": self.backend.name,
+            "kind": self.backend.kind,
             "index": self.index_name or "scan",
             "size": self._size,
             "workers": self.num_workers,
             "shard_sizes": self.shard_sizes,
+            "shards": shards,
+            "cache": merge_cache_counters(
+                [entry["cache"] for entry in shards if "cache" in entry]),
         }
 
     # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def pairwise(
-        self,
-        queries: Sequence[TrajectoryLike],
-        database: Optional[Sequence[TrajectoryLike]] = None,
-    ) -> np.ndarray:
-        """Dense ``(|Q|, |D|)`` distances; D defaults to the sharded database."""
-        queries = _as_batch(queries)
-        if database is not None:
-            return self.backend.pairwise(queries, database)
-        out = np.zeros((len(queries), self._size))
-        if not queries or self._size == 0:
-            return out
-        blocks = self._broadcast("pairwise",
-                                 [queries] * self.num_workers)
-        for shard, block in enumerate(blocks):
-            ids = self._shard_ids[shard]
-            if ids:
-                out[:, ids] = block
-        return out
-
-    distance_matrix = pairwise
-
-    def knn(
-        self,
-        queries: Sequence[TrajectoryLike],
-        k: int,
-        exclude: Optional[int] = None,
-        dedupe_eps: Optional[float] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Merged ``k`` nearest global ids per query: ``(distances, indices)``.
-
-        Same contract as :meth:`SimilarityService.knn` — ``exclude`` and
-        ``dedupe_eps`` filter without shrinking the result below ``k``; rows
-        pad with ``inf``/``-1`` only when the database is too small.
-        """
-        if self._size == 0:
-            raise RuntimeError("service database is empty; call add() first")
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        queries = [as_points(t) for t in _as_batch(queries)]
-        if not queries:
-            return (np.empty((0, k)), np.empty((0, k), dtype=np.int64))
-        largest_shard = max(self.shard_sizes)
-        dropped = (1 if exclude is not None else 0)
-        fetch = min(largest_shard,
-                    k + dropped + (1 if dedupe_eps is not None else 0))
-        while True:
-            pool_d, pool_i, frontiers = self._fetch_candidates(queries, fetch)
-            out_d = np.full((len(queries), k), np.inf)
-            out_i = np.full((len(queries), k), -1, dtype=np.int64)
-            short = False
-            for row in range(len(queries)):
-                row_d, row_i = pool_d[row], pool_i[row]
-                keep = row_i >= 0
-                if exclude is not None:
-                    keep &= row_i != exclude
-                if dedupe_eps is not None:
-                    keep &= row_d > dedupe_eps
-                row_d, row_i = row_d[keep], row_i[keep]
-                # Global merge order: distance first, database id on ties —
-                # exactly the single-service ranking.
-                order = np.lexsort((row_i, row_d))[:k]
-                if fetch < largest_shard and (
-                    len(order) < k
-                    or (self._exact_shards and not self._frontiers_cover(
-                        frontiers, row, fetch,
-                        row_d[order[-1]], row_i[order[-1]],
-                    ))
-                ):
-                    short = True
-                    break
-                out_d[row, :len(order)] = row_d[order]
-                out_i[row, :len(order)] = row_i[order]
-            if short:
-                fetch = min(largest_shard, max(fetch * 2, k + 1))
-                continue
-            return out_d, out_i
-
-    def _frontiers_cover(self, frontiers, row, fetch, kth_d, kth_i) -> bool:
-        """True when no shard can still hold a better-than-kth candidate.
-
-        A shard's unreturned candidates all rank (by distance, then id)
-        after the last candidate it did return — its *frontier*. The merged
-        top-k is final once every non-exhausted shard's frontier ranks at
-        or after the k-th selected result; otherwise a deeper fetch into
-        that shard could still improve the answer (e.g. when ``dedupe_eps``
-        filtered away a shard's entire contribution).
-        """
-        for shard, (frontier_d, frontier_i) in enumerate(frontiers):
-            if len(self._shard_ids[shard]) <= fetch:
-                continue  # shard fully fetched; nothing deeper exists
-            w_d, w_i = frontier_d[row], frontier_i[row]
-            if w_d < kth_d or (w_d == kth_d and w_i < kth_i):
-                return False
-        return True
-
-    def _fetch_candidates(self, queries, fetch):
-        """Per-shard top-``fetch`` pools with ids mapped to global space.
-
-        Returns the concatenated ``(distances, global_ids)`` pools plus each
-        shard's per-row frontier (the last — worst — candidate it returned),
-        which :meth:`_frontiers_cover` uses to certify the merge.
-        """
-        results = self._broadcast("knn", [(queries, fetch)] * self.num_workers)
-        pool_d, pool_i, frontiers = [], [], []
-        for shard, (distances, locals_) in enumerate(results):
-            ids = np.asarray(self._shard_ids[shard], dtype=np.int64)
-            if len(ids):
-                globals_ = np.where(locals_ >= 0, ids[np.clip(locals_, 0, None)], -1)
-            else:
-                globals_ = np.full_like(locals_, -1)
-            pool_d.append(distances)
-            pool_i.append(globals_)
-            valid_counts = (globals_ >= 0).sum(axis=1)
-            last = np.clip(valid_counts - 1, 0, None)
-            rows = np.arange(len(globals_))
-            frontier_d = np.where(valid_counts > 0, distances[rows, last], np.inf)
-            frontier_i = np.where(valid_counts > 0, globals_[rows, last], -1)
-            frontiers.append((frontier_d, frontier_i))
-        return (np.concatenate(pool_d, axis=1),
-                np.concatenate(pool_i, axis=1), frontiers)
-
-    # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle (queries live in ShardMergeMixin)
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop the workers (idempotent, and robust to dead/hung workers).
@@ -532,11 +612,25 @@ class QueryQueue:
         return self.submit_pairwise(queries, database).result(timeout)
 
     @property
-    def stats(self) -> QueueStats:
+    def queue_stats(self) -> QueueStats:
         """``(queries, batches, largest_batch)`` served so far."""
         with self._condition:
             return QueueStats(self._queries, self._batches,
                               self._largest_batch)
+
+    def stats(self) -> Dict:
+        """Unified serving stats: the wrapped service's common keys
+        (backend/index/size/cache) plus this queue's own counters under
+        ``"queue"`` and the full inner report under ``"service"``."""
+        inner_stats = getattr(self.service, "stats", None)
+        inner = inner_stats() if callable(inner_stats) else {}
+        info: Dict = {key: inner.get(key) for key in
+                      ("backend", "kind", "index", "size", "cache")}
+        info["type"] = type(self).__name__
+        info["queue"] = self.queue_stats._asdict()
+        if inner:
+            info["service"] = inner
+        return info
 
     # ------------------------------------------------------------------
     # Flush thread
@@ -659,7 +753,7 @@ class QueryQueue:
         self.close()
 
     def __repr__(self) -> str:
-        stats = self.stats
+        stats = self.queue_stats
         return (
             f"QueryQueue(max_batch={self.max_batch}, "
             f"max_wait={self.max_wait}, served={stats.queries} in "

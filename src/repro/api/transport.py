@@ -190,13 +190,38 @@ class SocketTransport:
 
     @classmethod
     def connect(
-        cls, host: str, port: int, timeout: Optional[float] = None
+        cls, host: str, port: int, timeout: Optional[float] = None,
+        *, retries: int = 0, retry_wait: float = 0.1,
     ) -> "SocketTransport":
-        import socket as socket_module
+        """Connect, optionally retrying with exponential backoff.
 
-        sock = socket_module.create_connection((host, port), timeout=timeout)
-        sock.settimeout(None)
-        return cls(sock)
+        A raw ``socket.connect`` races server boot: a client started
+        alongside a ``serve``/``cluster-worker`` process can hit
+        connection-refused before the listener binds, and a ready-file
+        only helps on the same machine. ``retries`` bounds the extra
+        attempts (waiting ``retry_wait``, doubling each time); the final
+        failure surfaces as :class:`TransportClosed`.
+        """
+        import socket as socket_module
+        import time
+
+        last_error: Optional[OSError] = None
+        delay = retry_wait
+        for attempt in range(int(retries) + 1):
+            try:
+                sock = socket_module.create_connection((host, port),
+                                                       timeout=timeout)
+                sock.settimeout(None)
+                return cls(sock)
+            except OSError as error:
+                last_error = error
+                if attempt < retries:
+                    time.sleep(delay)
+                    delay *= 2
+        raise TransportClosed(
+            f"could not connect to {host}:{port} after {int(retries) + 1} "
+            f"attempt(s): {last_error}"
+        ) from last_error
 
     def send(self, message) -> None:
         try:
@@ -234,8 +259,10 @@ class SocketTransport:
 
         try:
             readable, _, _ = select.select([self._socket], [], [], timeout)
-        except OSError:
-            return True  # recv() will surface the real error
+        except (OSError, ValueError):
+            # OSError: socket error; ValueError: fd already -1 because
+            # close() won a race. Either way recv() surfaces the truth.
+            return True
         return bool(readable)
 
     def close(self) -> None:

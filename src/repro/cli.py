@@ -18,9 +18,14 @@ Exposes the library's main workflows without writing code:
 * ``serve``     — expose a similarity service on a TCP port
   (:class:`repro.api.SimilarityServer`); composes with ``--workers`` and
   ``--batch-wait`` exactly like ``knn``;
+* ``cluster-worker`` — boot one multi-machine shard worker
+  (:class:`repro.api.ShardWorker`) waiting for a coordinator to join;
+* ``cluster``   — front a set of running cluster workers with a
+  :class:`repro.api.ClusterCoordinator` behind a TCP server: the
+  multi-machine analogue of ``serve --workers N``;
 * ``serve-bench`` — serving-throughput sweep (queries/sec in-process by
-  worker count and batching, plus remote and asyncio clients) merged
-  scenario-by-scenario into a JSON record.
+  worker count and batching, plus remote, asyncio and cluster serving)
+  merged scenario-by-scenario into a JSON record.
 
 Every similarity method is resolved by name through :mod:`repro.api`;
 ``evaluate`` and ``knn`` accept ``--backend`` with any name from
@@ -345,6 +350,60 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_cluster_worker(args) -> int:
+    """Boot one cluster shard worker (``repro cluster-worker``)."""
+    from .api.cluster import run_worker
+
+    return run_worker(args.host, args.port, args.ready_file)
+
+
+def cmd_cluster(args) -> int:
+    """Front a worker cluster with a TCP server (``repro cluster``)."""
+    from .api import QueryQueue, SimilarityServer
+    from .api.cluster import ClusterCoordinator
+
+    database = _load_trajectories(args.data)
+    backend = _resolve_backend(args.backend, args, database)
+    index, index_kwargs = _index_from_args(args)
+    workers = [w.strip() for w in args.workers.split(",") if w.strip()]
+    cluster = ClusterCoordinator(
+        workers, backend=backend, index=index, index_kwargs=index_kwargs,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        connect_retries=args.connect_retries, retry_wait=args.retry_wait,
+        shutdown_workers_on_close=args.shutdown_workers,
+    )
+    queue = None
+    server = None
+    try:
+        cluster.add(database)
+        stack = cluster
+        if args.batch_wait > 0:
+            queue = QueryQueue(cluster, max_batch=args.max_batch,
+                               max_wait=args.batch_wait)
+            stack = queue
+        server = SimilarityServer(stack, host=args.host, port=args.port,
+                                  max_requests=args.max_requests)
+        host, port = server.address
+        print(f"cluster front-end: backend {backend.name}, "
+              f"{len(database)} trajectories over {len(workers)} "
+              f"worker(s), serving on {host}:{port}", flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w") as handle:
+                handle.write(f"{host}:{port}\n")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+    finally:
+        if server is not None:
+            server.close()
+        if queue is not None:
+            queue.close()
+        cluster.close()
+    return 0
+
+
 def _bench_in_process(args, backend, database, queries) -> dict:
     """queries/sec by worker count, direct vs through the QueryQueue."""
     from .api import QueryQueue, ShardedSimilarityService, SimilarityService
@@ -378,7 +437,7 @@ def _bench_in_process(args, backend, database, queries) -> dict:
                         future.result()
                 batched = args.repeats * len(queries) / (
                     time.perf_counter() - start)
-                stats = queue.stats
+                stats = queue.queue_stats
             results.append({
                 "workers": workers,
                 "unbatched_qps": round(unbatched, 2),
@@ -447,6 +506,38 @@ def _bench_async(args, backend, database, queries) -> dict:
     return {"results": {"qps": round(qps, 2), "connections": connections}}
 
 
+def _bench_cluster(args, backend, database, queries) -> dict:
+    """queries/sec through a coordinator over real localhost shard workers."""
+    from .api.cluster import ClusterCoordinator, ShardWorker
+
+    workers = [ShardWorker() for _ in range(max(1, args.cluster_workers))]
+    try:
+        with ClusterCoordinator([w.address for w in workers],
+                                backend=backend,
+                                heartbeat_interval=0) as cluster:
+            cluster.add(database)
+            cluster.knn(queries, k=args.k)  # warm every shard
+
+            start = time.perf_counter()
+            for _ in range(args.repeats):
+                for query in queries:
+                    cluster.knn(query, k=args.k)
+            per_call = args.repeats * len(queries) / (
+                time.perf_counter() - start)
+
+            start = time.perf_counter()
+            for _ in range(args.repeats):
+                cluster.knn(queries, k=args.k)
+            batched = args.repeats * len(queries) / (
+                time.perf_counter() - start)
+    finally:
+        for worker in workers:
+            worker.close()
+    return {"results": {"qps": round(per_call, 2),
+                        "batched_qps": round(batched, 2),
+                        "workers": len(workers)}}
+
+
 def merge_bench_scenarios(existing: Optional[dict], scenarios: dict,
                           config: dict) -> dict:
     """Merge a serve-bench run into a prior record, keyed by scenario.
@@ -496,7 +587,7 @@ def cmd_serve_bench(args) -> int:
     queries = database[:min(args.queries, len(database))]
 
     runners = {"in_process": _bench_in_process, "remote": _bench_remote,
-               "async": _bench_async}
+               "async": _bench_async, "cluster": _bench_cluster}
     names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
     unknown = [name for name in names if name not in runners]
     if unknown:
@@ -541,6 +632,11 @@ def cmd_serve_bench(args) -> int:
         result = scenarios["async"]["results"]
         print(f"async: {result['qps']} q/s "
               f"over {result['connections']} connections")
+    if "cluster" in scenarios:
+        result = scenarios["cluster"]["results"]
+        print(f"cluster: {result['qps']} q/s per-call, "
+              f"{result['batched_qps']} q/s batched "
+              f"over {result['workers']} workers")
     if args.output:
         print(f"written to {args.output}")
     return 0
@@ -677,6 +773,66 @@ def build_parser() -> argparse.ArgumentParser:
     _add_encode_args(p)
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser("cluster-worker",
+                       help="boot one multi-machine shard worker")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0: pick an ephemeral port and print it)")
+    p.add_argument("--ready-file",
+                   help="write 'host:port' here once the worker is "
+                        "listening (for same-machine launchers; remote "
+                        "coordinators rely on connect retries instead)")
+    p.set_defaults(func=cmd_cluster_worker)
+
+    p = sub.add_parser("cluster",
+                       help="serve kNN over a cluster of shard workers")
+    p.add_argument("--checkpoint", help="TrajCL checkpoint "
+                   "(required for --backend trajcl)")
+    p.add_argument("--data", required=True,
+                   help="trajectories .npz served as the database")
+    p.add_argument("--backend", default="trajcl",
+                   help="backend name (see 'backends'; default: trajcl)")
+    p.add_argument("--index", default="auto",
+                   choices=["auto", "bruteforce", "ivf", "segment"],
+                   help="per-shard kNN index (auto: the backend's default)")
+    p.add_argument("--lists", type=int, default=16, help="IVF lists")
+    p.add_argument("--workers", required=True, metavar="HOST:PORT,...",
+                   help="comma-separated addresses of running "
+                        "`cluster-worker` processes")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="front-end TCP port (0: ephemeral)")
+    p.add_argument("--batch-wait", type=float, default=0.0,
+                   help="coalesce concurrent remote queries through a "
+                        "QueryQueue with this window in seconds (0: direct)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="QueryQueue flush size when --batch-wait > 0")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="shut down after serving this many requests "
+                        "(smoke tests; default: serve until interrupted)")
+    p.add_argument("--ready-file",
+                   help="write the front-end's 'host:port' here once it "
+                        "is listening")
+    p.add_argument("--heartbeat-interval", type=float, default=2.0,
+                   help="seconds between worker liveness pings "
+                        "(0: disable heartbeats)")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   help="seconds without a ping reply before a worker is "
+                        "marked degraded and failed over")
+    p.add_argument("--connect-retries", type=int, default=5,
+                   help="bounded connect retries (with backoff) while the "
+                        "workers boot")
+    p.add_argument("--retry-wait", type=float, default=0.1,
+                   help="initial backoff between connect retries")
+    p.add_argument("--shutdown-workers", action="store_true",
+                   help="tell the workers to exit when this front-end "
+                        "shuts down")
+    p.add_argument("--train-epochs", type=int, default=1,
+                   help="training epochs for learned non-trajcl backends")
+    p.add_argument("--seed", type=int, default=0)
+    _add_encode_args(p)
+    p.set_defaults(func=cmd_cluster)
+
     p = sub.add_parser("serve-bench",
                        help="serving throughput: q/s by workers and batching")
     p.add_argument("--data", help="trajectories .npz (default: generate "
@@ -696,13 +852,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--max-batch", type=int, default=64)
     p.add_argument("--batch-wait", type=float, default=0.005)
-    p.add_argument("--scenarios", default="in_process,remote,async",
-                   help="comma-separated subset of in_process/remote/async; "
-                        "scenarios not re-run keep their previous numbers "
-                        "in --output")
+    p.add_argument("--scenarios", default="in_process,remote,async,cluster",
+                   help="comma-separated subset of in_process/remote/async/"
+                        "cluster; scenarios not re-run keep their previous "
+                        "numbers in --output")
     p.add_argument("--connections", type=int, default=4,
                    help="concurrent asyncio connections in the async "
                         "scenario")
+    p.add_argument("--cluster-workers", type=int, default=2,
+                   help="shard workers booted for the cluster scenario")
     p.add_argument("--train-epochs", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", help="merge the result JSON here, keyed by "

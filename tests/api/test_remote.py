@@ -178,7 +178,7 @@ class TestComposition:
                     thread.start()
                 for thread in threads:
                     thread.join(timeout=30)
-            stats = queue.stats
+            stats = queue.queue_stats
         assert len(results) == 5
         assert stats.queries == 5
         for i, (remote_d, remote_i) in results.items():
@@ -289,6 +289,32 @@ class TestErrorPaths:
             RemoteSimilarityClient(host, port, timeout=2).knn(
                 np.zeros((4, 2)), k=1)
 
+    def test_client_connect_retries_until_server_boots(self, local_service,
+                                                       trajectories):
+        """A client launched alongside the server no longer races its bind:
+        bounded retry with backoff bridges the boot window."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        box = {}
+
+        def boot():
+            time.sleep(0.4)
+            box["server"] = SimilarityServer(local_service, port=port)
+
+        thread = threading.Thread(target=boot)
+        thread.start()
+        try:
+            with RemoteSimilarityClient("127.0.0.1", port,
+                                        connect_retries=20,
+                                        retry_wait=0.05) as client:
+                assert len(client) == len(local_service)
+        finally:
+            thread.join(timeout=10)
+            if "server" in box:
+                box["server"].close()
+
     def test_max_requests_shuts_down(self, local_service, trajectories):
         server = SimilarityServer(local_service, max_requests=2)
         with RemoteSimilarityClient(*server.address) as client:
@@ -346,7 +372,7 @@ class TestSustainedServing:
                         thread.start()
                     for thread in threads:
                         thread.join(timeout=120)
-                    stats = queue.stats
+                    stats = queue.queue_stats
         assert not failures, failures[:3]
         assert stats.queries >= 8 * 25
 

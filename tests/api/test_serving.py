@@ -212,7 +212,7 @@ class TestQueryQueue:
                 thread.start()
             for thread in threads:
                 thread.join(timeout=30)
-            stats = queue.stats
+            stats = queue.queue_stats
         assert not errors
         assert stats.queries == len(trajectories)
         for i, (row_d, row_i) in results.items():
@@ -226,7 +226,7 @@ class TestQueryQueue:
             futures = [queue.submit(t, k=3) for t in trajectories]
             for future in futures:
                 future.result(timeout=30)
-            stats = queue.stats
+            stats = queue.queue_stats
         assert stats.queries == len(trajectories)
         # The 0.5s window is far longer than the submission loop, so the
         # flush thread must have coalesced (at most one straggler batch).
@@ -257,7 +257,7 @@ class TestQueryQueue:
             assert doomed.cancel()
             row_d, row_i = queue.knn(trajectories[1], k=2, timeout=30)
             assert row_i.shape == (2,)
-        assert queue.stats.queries == 1  # the cancelled query never ran
+        assert queue.queue_stats.queries == 1  # the cancelled query never ran
 
     def test_close_drains_then_refuses(self, single_service, trajectories):
         queue = QueryQueue(single_service, max_wait=0.2)
@@ -361,4 +361,75 @@ class TestQueuePairwise:
             with pytest.raises(Exception):
                 future.result(timeout=30)
         # The flush thread survived the failure.
-        assert queue.stats.batches >= 0
+        assert queue.queue_stats.batches >= 0
+
+
+class TestUnifiedStats:
+    """Every serving layer answers stats() on one shared key set, so
+    cluster/fleet health reporting never special-cases a layer."""
+
+    COMMON_KEYS = {"type", "backend", "index", "size", "cache"}
+
+    def test_single_sharded_and_queue_share_the_shape(self, single_service,
+                                                      sharded_service,
+                                                      trajectories):
+        with QueryQueue(single_service, max_wait=0.01) as queue:
+            queue.knn(trajectories[0], k=2, timeout=30)
+            reports = {
+                "single": single_service.stats(),
+                "sharded": sharded_service.stats(),
+                "queue": queue.stats(),
+            }
+        for label, stats in reports.items():
+            assert self.COMMON_KEYS <= set(stats), label
+            assert stats["backend"] == "trajcl", label
+            assert stats["size"] == len(trajectories), label
+            assert set(stats["cache"]) == {"hits", "misses", "size",
+                                           "maxsize"}, label
+        assert reports["queue"]["queue"]["queries"] == 1
+        # The sharded breakdown covers the whole database.
+        shards = reports["sharded"]["shards"]
+        assert len(shards) == 3
+        assert sum(entry["size"] for entry in shards) == len(trajectories)
+        assert reports["sharded"]["cache"]["misses"] > 0
+
+    def test_remote_client_relays_the_shape(self, single_service,
+                                            trajectories):
+        from repro.api import RemoteSimilarityClient, SimilarityServer
+
+        with SimilarityServer(single_service) as server:
+            with RemoteSimilarityClient(*server.address) as client:
+                stats = client.stats()
+        assert self.COMMON_KEYS <= set(stats)
+        assert stats["requests"] >= 1
+        assert stats["size"] == len(trajectories)
+
+    def test_stats_probe_does_not_desync_in_flight_queries(
+            self, single_service, sharded_service, trajectories):
+        """Sharded stats() now does per-worker RPC over the same pipes the
+        query path uses; the internal RPC lock must keep a concurrent
+        probe (e.g. a server handler thread beside a QueryQueue flush
+        thread) from interleaving frames with a kNN broadcast."""
+        expected = single_service.knn(trajectories[:2], k=3)
+        errors = []
+        stop = threading.Event()
+
+        def probe():
+            try:
+                while not stop.is_set():
+                    assert sharded_service.stats()["size"] == \
+                        len(trajectories)
+            except Exception as error:  # surfaced below
+                errors.append(error)
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        try:
+            for _ in range(50):
+                got = sharded_service.knn(trajectories[:2], k=3)
+                np.testing.assert_array_equal(got[1], expected[1])
+                np.testing.assert_allclose(got[0], expected[0])
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors

@@ -116,6 +116,64 @@ class TestSocketFraming:
         transport.close()
 
 
+class TestShortReads:
+    """A TCP peer may deliver a frame in arbitrarily small pieces, or stop
+    mid-frame. Partial reads must reassemble; truncation must surface as a
+    clean transport error — never a truncated unpickle."""
+
+    def test_byte_dribble_reassembles_the_frame(self):
+        left, right = socket.socketpair()
+        transport = SocketTransport(right)
+        message = {"vector": np.arange(6, dtype=np.float64),
+                   "tag": "dribble"}
+        frame = encode_frame(message)
+
+        def dribble():
+            for i in range(len(frame)):
+                left.sendall(frame[i:i + 1])
+            left.close()
+
+        thread = threading.Thread(target=dribble)
+        thread.start()
+        received = transport.recv()
+        thread.join(timeout=10)
+        assert received["tag"] == "dribble"
+        np.testing.assert_array_equal(received["vector"], message["vector"])
+        with pytest.raises(TransportClosed):
+            transport.recv()  # the dribbler's EOF is a clean hangup
+        transport.close()
+
+    def test_back_to_back_frames_parse_cleanly(self):
+        left, right = socket.socketpair()
+        transport = SocketTransport(right)
+        left.sendall(encode_frame("first") + encode_frame("second"))
+        assert transport.recv() == "first"
+        assert transport.recv() == "second"
+        left.close()
+        transport.close()
+
+    def test_close_mid_header_is_a_frame_error(self):
+        left, right = socket.socketpair()
+        transport = SocketTransport(right)
+        left.sendall(FRAME_HEADER.pack(64)[:3])  # 3 of the 8 header bytes
+        left.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            transport.recv()
+        transport.close()
+
+    def test_close_mid_body_is_a_frame_error_not_an_unpickle(self):
+        left, right = socket.socketpair()
+        transport = SocketTransport(right)
+        frame = encode_frame({"payload": np.arange(100)})
+        left.sendall(frame[:-5])  # everything but the last 5 body bytes
+        left.close()
+        # FrameError, not pickle.UnpicklingError: the truncated bytes must
+        # never reach the unpickler.
+        with pytest.raises(FrameError, match="mid-frame"):
+            transport.recv()
+        transport.close()
+
+
 def run_node(transport, handlers, **kwargs):
     node = ServiceNode(transport, handlers, **kwargs)
     thread = threading.Thread(target=node.serve_forever, daemon=True)

@@ -239,9 +239,10 @@ class TestServingCli:
         printed = capsys.readouterr().out
         assert "unbatched q/s" in printed
         assert "remote:" in printed and "async:" in printed
+        assert "cluster:" in printed
         payload = json.loads(open(out_path).read())
         scenarios = payload["scenarios"]
-        assert set(scenarios) == {"in_process", "remote", "async"}
+        assert set(scenarios) == {"in_process", "remote", "async", "cluster"}
         assert scenarios["in_process"]["config"]["backend"] == "hausdorff"
         rows = scenarios["in_process"]["results"]
         assert [r["workers"] for r in rows] == [1, 2]
@@ -251,6 +252,8 @@ class TestServingCli:
         assert scenarios["remote"]["results"]["qps"] > 0
         assert scenarios["remote"]["results"]["batched_qps"] > 0
         assert scenarios["async"]["results"]["qps"] > 0
+        assert scenarios["cluster"]["results"]["qps"] > 0
+        assert scenarios["cluster"]["results"]["workers"] == 2
 
     def test_serve_bench_merges_by_scenario(self, dataset_path, tmp_path,
                                             capsys):
@@ -313,3 +316,82 @@ class TestServingCli:
             thread.join(timeout=30)
         assert not thread.is_alive()
         assert rc.get("serve") == 0
+
+
+class TestClusterCli:
+    def test_cluster_front_end_and_remote_knn(self, dataset_path, tmp_path,
+                                              capsys):
+        import threading
+        import time
+
+        from repro.api import ShardWorker
+
+        workers = [ShardWorker(), ShardWorker()]
+        ready = tmp_path / "cluster-ready"
+        # knn --remote issues two requests (knn + stats); the front-end
+        # trips max_requests and `cluster` returns on its own.
+        front_argv = ["cluster", "--data", dataset_path,
+                      "--backend", "hausdorff",
+                      "--workers", ",".join(f"{h}:{p}" for h, p in
+                                            (w.address for w in workers)),
+                      "--port", "0", "--ready-file", str(ready),
+                      "--heartbeat-interval", "0", "--max-requests", "2"]
+        rc = {}
+        thread = threading.Thread(
+            target=lambda: rc.setdefault("cluster", main(front_argv)))
+        thread.start()
+        try:
+            for _ in range(200):
+                if ready.exists():
+                    break
+                time.sleep(0.05)
+            address = ready.read_text().strip()
+            assert main(["knn", "--data", dataset_path, "--query", "1",
+                         "--k", "3", "--remote", address]) == 0
+            out = capsys.readouterr().out
+            assert "3NN of trajectory 1" in out
+            assert "backend hausdorff" in out
+            # The cluster's answer matches the plain local CLI path
+            # bit-for-bit (the printed rows include the distances).
+            assert main(["knn", "--data", dataset_path,
+                         "--backend", "hausdorff", "--query", "1",
+                         "--k", "3"]) == 0
+            local_out = capsys.readouterr().out
+            assert out.splitlines()[-3:] == local_out.splitlines()[-3:]
+            assert any("#1:" in line for line in out.splitlines())
+        finally:
+            thread.join(timeout=60)
+            for worker in workers:
+                worker.close()
+        assert not thread.is_alive()
+        assert rc.get("cluster") == 0
+
+    def test_cluster_worker_serves_until_shutdown(self, tmp_path):
+        import threading
+        import time
+
+        from repro.api.transport import SocketTransport, request
+
+        ready = tmp_path / "worker-ready"
+        rc = {}
+        thread = threading.Thread(target=lambda: rc.setdefault(
+            "worker", main(["cluster-worker", "--port", "0",
+                            "--ready-file", str(ready)])))
+        thread.start()
+        try:
+            for _ in range(200):
+                if ready.exists():
+                    break
+                time.sleep(0.05)
+            host, port = ready.read_text().strip().rsplit(":", 1)
+            transport = SocketTransport.connect(host, int(port),
+                                                retries=10)
+            try:
+                assert request(transport, "ping")["joined"] is False
+                request(transport, "shutdown")
+            finally:
+                transport.close()
+        finally:
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert rc.get("worker") == 0
