@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all smoke serve-smoke cluster-smoke bench serve-bench bench-encode
+.PHONY: test test-all smoke serve-smoke cluster-smoke http-smoke bench serve-bench bench-encode
 
 # Tier-1 suite (the repo's verification gate; deselects `slow`-marked
 # serving stress tests — see pytest.ini).
@@ -9,11 +9,12 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # Everything: the full pytest suite (including the slow serving stress
-# tests) plus both real-process smoke runs.
+# tests) plus all three real-process smoke runs.
 test-all:
 	$(PYTHON) -m pytest -x -q -m ""
 	$(PYTHON) scripts/serve_smoke.py
 	$(PYTHON) scripts/cluster_smoke.py
+	$(PYTHON) scripts/http_smoke.py
 
 # End-to-end CLI pipeline (generate -> train -> evaluate -> knn) on a tiny
 # dataset; finishes in well under a minute.
@@ -31,13 +32,20 @@ serve-smoke:
 cluster-smoke:
 	$(PYTHON) scripts/cluster_smoke.py
 
+# Boots a real `repro serve-http` gateway over a 2-worker sharded
+# service, checks HTTP knn parity with the local service, floods it past
+# max-inflight (some 429s, zero wrong answers), parses /metrics, and
+# SIGTERMs it expecting a clean exit.
+http-smoke:
+	$(PYTHON) scripts/http_smoke.py
+
 # Paper-table benchmark harnesses (slow; needs pytest-benchmark).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-# Serving-layer throughput sweep (queries/sec in-process at 1/2/4 workers
-# plus remote and asyncio clients) merged scenario-by-scenario into the
-# perf-trajectory record.
+# Serving-layer throughput sweep (queries/sec plus p50/p95/p99 latency:
+# in-process at 1/2/4 workers, remote, asyncio, cluster and HTTP
+# clients) merged scenario-by-scenario into the perf-trajectory record.
 serve-bench:
 	$(PYTHON) -m repro serve-bench --output benchmarks/results/BENCH_serving.json
 

@@ -1,11 +1,12 @@
-"""Serving-layer throughput — queries/sec by serving mode.
+"""Serving-layer throughput — queries/sec and latency by serving mode.
 
 Runs the ``serve-bench`` CLI sweep (the same path ``make serve-bench``
 uses) at a reduced scale and merges ``BENCH_serving.json`` so later PRs
-have a perf trajectory for the sharded + batched + remote + cluster
-serving stack. The record is keyed by scenario
-(``in_process``/``remote``/``async``/``cluster``); scenarios not re-run
-by a sweep keep their previous numbers.
+have a perf trajectory for the sharded + batched + remote + cluster +
+HTTP serving stack. The record is keyed by scenario
+(``in_process``/``remote``/``async``/``cluster``/``http``); scenarios
+not re-run by a sweep keep their previous numbers. Every scenario
+reports p50/p95/p99 latency beside its q/s.
 """
 
 import json
@@ -24,7 +25,7 @@ def test_serving_throughput(benchmark):
             "serve-bench",
             "--count", "120", "--queries", "16", "--k", "5",
             "--workers", "1,2,4", "--repeats", "2",
-            "--scenarios", "in_process,remote,async,cluster",
+            "--scenarios", "in_process,remote,async,cluster,http",
             "--cluster-workers", "2",
             "--seed", str(SEED),
             "--output", str(out),
@@ -34,7 +35,8 @@ def test_serving_throughput(benchmark):
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
     scenarios = payload["scenarios"]
-    assert {"in_process", "remote", "async", "cluster"} <= set(scenarios)
+    assert {"in_process", "remote", "async", "cluster",
+            "http"} <= set(scenarios)
     rows = [[r["workers"], r["unbatched_qps"], r["batched_qps"],
              r["batches"], r["largest_batch"]]
             for r in scenarios["in_process"]["results"]]
@@ -47,6 +49,14 @@ def test_serving_throughput(benchmark):
     assert scenarios["cluster"]["results"]["qps"] > 0
     assert scenarios["cluster"]["results"]["batched_qps"] > 0
     assert scenarios["cluster"]["results"]["workers"] == 2
+    assert scenarios["http"]["results"]["qps"] > 0
+    assert scenarios["http"]["results"]["concurrent_qps"] > 0
+    for name, record in scenarios.items():
+        results = record["results"]
+        for row in results if isinstance(results, list) else [results]:
+            latency = row["latency_ms"]
+            assert latency["p50"] > 0, name
+            assert latency["p50"] <= latency["p95"] <= latency["p99"], name
     save_result(
         "BENCH_serving",
         json.dumps(payload, indent=2),

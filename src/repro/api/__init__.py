@@ -30,7 +30,10 @@ services behind a TCP port (:class:`SimilarityServer`) with blocking
 (:class:`AsyncSimilarityClient`) front-ends; :mod:`repro.api.cluster`
 fans the shards out across machines (:class:`ClusterCoordinator` over N
 :class:`ShardWorker` servers, with heartbeats, failover and sharded
-snapshots). All inter-process and network traffic speaks the
+snapshots); :mod:`repro.api.gateway` is the HTTP/JSON edge
+(:class:`SimilarityGateway` over any of the above, with rate limiting,
+deadlines, load shedding and a Prometheus ``/metrics`` endpoint). All
+inter-process and network traffic below the gateway speaks the
 framed-message protocol in :mod:`repro.api.transport`; see each module's
 docstring for composition examples.
 """
@@ -63,7 +66,13 @@ from .indexes import (
     register_index,
 )
 from .service import CacheInfo, SimilarityService
-from .serving import QueryQueue, QueueStats, ShardedSimilarityService
+from .serving import (
+    DeadlineExceededError,
+    QueryQueue,
+    QueueFullError,
+    QueueStats,
+    ShardedSimilarityService,
+)
 from .transport import (
     PipeTransport,
     RemoteCallError,
@@ -79,6 +88,7 @@ from .remote import (
     SimilarityServer,
 )
 from .cluster import ClusterCoordinator, ShardWorker
+from .gateway import SimilarityGateway
 
 __all__ = [
     "EMBEDDING",
@@ -107,6 +117,8 @@ __all__ = [
     "ShardedSimilarityService",
     "QueryQueue",
     "QueueStats",
+    "QueueFullError",
+    "DeadlineExceededError",
     "Transport",
     "TransportError",
     "TransportClosed",
@@ -119,4 +131,5 @@ __all__ = [
     "AsyncSimilarityClient",
     "ClusterCoordinator",
     "ShardWorker",
+    "SimilarityGateway",
 ]

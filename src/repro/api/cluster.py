@@ -60,7 +60,7 @@ from ..trajectory.trajectory import TrajectoryLike
 from .backends import backend_state, restore_backend
 from .protocols import SimilarityBackend, as_backend
 from .registry import get_backend
-from .remote import ThreadedNodeServer, parse_address
+from .remote import ThreadedNodeServer, install_signal_shutdown, parse_address
 from .service import SimilarityService, _default_index_for
 from .serving import ShardMergeMixin, _as_batch, merge_cache_counters
 from .transport import (
@@ -221,6 +221,9 @@ def run_worker(host: str = "127.0.0.1", port: int = 0,
                ready_file: Optional[str] = None) -> int:
     """Boot a :class:`ShardWorker` and serve until shutdown (the CLI body)."""
     worker = ShardWorker(host, port)
+    # SIGTERM runs the same graceful shutdown as Ctrl-C / a coordinator's
+    # shutdown command, so launcher teardown never needs terminate→kill.
+    install_signal_shutdown(worker.shutdown)
     bound_host, bound_port = worker.address
     print(f"cluster worker listening on {bound_host}:{bound_port}",
           flush=True)

@@ -58,7 +58,27 @@ __all__ = [
     "RemoteSimilarityClient",
     "AsyncSimilarityClient",
     "parse_address",
+    "install_signal_shutdown",
 ]
+
+
+def install_signal_shutdown(callback, signals=("SIGTERM",)) -> bool:
+    """Route ``SIGTERM`` through the same graceful shutdown as Ctrl-C.
+
+    ``callback`` must be signal-safe (the servers' ``shutdown()`` methods
+    only set an event). Returns False without installing anything when
+    called off the main thread — the in-process CLI tests drive commands
+    from worker threads, where CPython forbids ``signal.signal``.
+    """
+    import signal
+
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    for name in signals:
+        signum = getattr(signal, name, None)
+        if signum is not None:
+            signal.signal(signum, lambda _signum, _frame: callback())
+    return True
 
 
 def parse_address(address: Union[str, Tuple[str, int]],
@@ -168,6 +188,12 @@ class ThreadedNodeServer:
     @property
     def closed(self) -> bool:
         return self._shutdown.is_set()
+
+    def shutdown(self) -> None:
+        """Request shutdown: :meth:`serve_forever` returns and runs the
+        graceful :meth:`close`. Safe from signal handlers and other
+        threads — it only sets a flag."""
+        self._shutdown.set()
 
     def serve_forever(self, poll_interval: float = 0.1) -> None:
         """Block the calling thread until :meth:`close` (or a shutdown)."""

@@ -65,7 +65,27 @@ from .transport import (
 _as_batch = SimilarityService._as_batch
 
 __all__ = ["ShardedSimilarityService", "QueryQueue", "QueueStats",
-           "ShardMergeMixin", "merge_cache_counters"]
+           "QueueFullError", "DeadlineExceededError", "ShardMergeMixin",
+           "merge_cache_counters"]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`QueryQueue.submit` when ``max_pending`` is reached.
+
+    Bounded admission: under overload the queue sheds new work at the
+    door (callers can retry, degrade, or surface ``429``) instead of
+    growing the pending list — and the latency of everything behind it —
+    without bound.
+    """
+
+
+class DeadlineExceededError(RuntimeError):
+    """A queued query's deadline passed before the service ran it.
+
+    The flush thread drops expired entries instead of computing results
+    for callers that have already given up; the waiting future receives
+    this exception (the HTTP gateway maps it to ``504``).
+    """
 
 
 def merge_cache_counters(counters: Sequence[Dict]) -> Dict:
@@ -525,7 +545,8 @@ class ShardedSimilarityService(ShardMergeMixin):
 # ----------------------------------------------------------------------
 # Query batching
 # ----------------------------------------------------------------------
-QueueStats = namedtuple("QueueStats", ["queries", "batches", "largest_batch"])
+QueueStats = namedtuple("QueueStats", ["queries", "batches", "largest_batch",
+                                       "rejected", "expired"])
 
 #: pending-entry kinds
 _KNN = "knn"
@@ -549,52 +570,80 @@ class QueryQueue:
     scattered back to the callers, instead of forcing matrix traffic
     around the queue (and onto the thread-oblivious service) entirely.
 
+    Two traffic controls make the queue safe under overload:
+
+    * ``max_pending`` bounds admission — once that many requests wait,
+      :meth:`submit` raises :class:`QueueFullError` instead of queueing
+      unboundedly (``None``: unbounded, the historical behaviour);
+    * a per-request ``deadline`` (``time.monotonic()`` seconds) marks
+      work the caller will no longer wait for — the flush thread drops
+      expired entries with :class:`DeadlineExceededError` rather than
+      spending encoder time on them.
+
     Only the flush thread touches the underlying service, which keeps the
     (thread-oblivious) :class:`SimilarityService` safe under concurrency.
     """
 
     def __init__(self, service: KnnService, max_batch: int = 64,
-                 max_wait: float = 0.01):
+                 max_wait: float = 0.01, max_pending: Optional[int] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait < 0:
             raise ValueError("max_wait must be >= 0")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None: unbounded)")
         self.service = service
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        self.max_pending = None if max_pending is None else int(max_pending)
         self._pending: deque = deque()
         self._condition = threading.Condition()
         self._closed = False
         self._queries = 0
         self._batches = 0
         self._largest_batch = 0
+        self._rejected = 0
+        self._expired = 0
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="repro-query-queue")
         self._thread.start()
 
     def submit(self, query: TrajectoryLike, k: int,
                exclude: Optional[int] = None,
-               dedupe_eps: Optional[float] = None):
-        """Enqueue one query; returns a Future of ``(distances, ids)``."""
+               dedupe_eps: Optional[float] = None,
+               deadline: Optional[float] = None):
+        """Enqueue one query; returns a Future of ``(distances, ids)``.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp; an
+        entry still queued past it resolves to
+        :class:`DeadlineExceededError` instead of being computed.
+        """
         points = as_points(query)
-        return self._enqueue((_KNN, points, k, exclude, dedupe_eps))
+        return self._enqueue((_KNN, points, k, exclude, dedupe_eps), deadline)
 
     def submit_pairwise(self, queries: Sequence[TrajectoryLike],
-                        database: Optional[Sequence[TrajectoryLike]] = None):
+                        database: Optional[Sequence[TrajectoryLike]] = None,
+                        deadline: Optional[float] = None):
         """Enqueue a pairwise block; returns a Future of the ``(|Q|, |D|)``
         matrix. Calls with ``database=None`` (the service database)
         coalesce into one stacked service call per flush."""
         batch = [as_points(t) for t in _as_batch(queries)]
-        return self._enqueue((_PAIRWISE, batch, database))
+        return self._enqueue((_PAIRWISE, batch, database), deadline)
 
-    def _enqueue(self, entry):
+    def _enqueue(self, entry, deadline):
         from concurrent.futures import Future
 
         future = Future()
         with self._condition:
             if self._closed:
                 raise RuntimeError("queue is closed")
-            self._pending.append((future,) + entry)
+            if (self.max_pending is not None
+                    and len(self._pending) >= self.max_pending):
+                self._rejected += 1
+                raise QueueFullError(
+                    f"queue is full ({self.max_pending} requests pending)"
+                )
+            self._pending.append((future,) + entry + (deadline,))
             self._condition.notify_all()
         return future
 
@@ -612,11 +661,18 @@ class QueryQueue:
         return self.submit_pairwise(queries, database).result(timeout)
 
     @property
+    def pending(self) -> int:
+        """Requests currently waiting for the flush thread (queue depth)."""
+        with self._condition:
+            return len(self._pending)
+
+    @property
     def queue_stats(self) -> QueueStats:
-        """``(queries, batches, largest_batch)`` served so far."""
+        """``(queries, batches, largest_batch, rejected, expired)`` so far."""
         with self._condition:
             return QueueStats(self._queries, self._batches,
-                              self._largest_batch)
+                              self._largest_batch, self._rejected,
+                              self._expired)
 
     def stats(self) -> Dict:
         """Unified serving stats: the wrapped service's common keys
@@ -627,7 +683,7 @@ class QueryQueue:
         info: Dict = {key: inner.get(key) for key in
                       ("backend", "kind", "index", "size", "cache")}
         info["type"] = type(self).__name__
-        info["queue"] = self.queue_stats._asdict()
+        info["queue"] = dict(self.queue_stats._asdict(), pending=self.pending)
         if inner:
             info["service"] = inner
         return info
@@ -660,21 +716,34 @@ class QueryQueue:
         knn_groups: "Dict[Tuple, List]" = {}
         shared_pairwise: List = []   # database=None → coalescable
         adhoc_pairwise: List = []    # explicit database → one call each
+        now = time.monotonic()
+        expired_now = 0
         for item in batch:
-            future, kind = item[0], item[1]
+            future, kind, deadline = item[0], item[1], item[-1]
             if not future.set_running_or_notify_cancel():
                 continue  # the caller cancelled while the query was pending
+            if deadline is not None and now > deadline:
+                # The caller's budget ran out while the entry queued:
+                # don't spend service time on a vanished caller.
+                expired_now += 1
+                self._fail(future, DeadlineExceededError(
+                    f"deadline exceeded {now - deadline:.3f}s before the "
+                    "query was served"))
+                continue
             if kind == _KNN:
-                _, _, points, k, exclude, dedupe_eps = item
+                _, _, points, k, exclude, dedupe_eps, _ = item
                 knn_groups.setdefault((k, exclude, dedupe_eps), []).append(
                     (future, points)
                 )
             else:
-                _, _, queries, database = item
+                _, _, queries, database, _ = item
                 if database is None:
                     shared_pairwise.append((future, queries))
                 else:
                     adhoc_pairwise.append((future, queries, database))
+        if expired_now:
+            with self._condition:
+                self._expired += expired_now
         for (k, exclude, dedupe_eps), members in knn_groups.items():
             futures = [future for future, _ in members]
             queries = [points for _, points in members]
@@ -707,18 +776,22 @@ class QueryQueue:
             if matrix is not None:
                 self._resolve([future], [matrix], queries=len(queries))
 
-    def _serve(self, futures, call):
-        """Run one service call; on failure fail every waiting future."""
+    @staticmethod
+    def _fail(future, error) -> None:
         from concurrent.futures import InvalidStateError
 
+        try:
+            future.set_exception(error)
+        except InvalidStateError:
+            pass  # must never kill the flush thread
+
+    def _serve(self, futures, call):
+        """Run one service call; on failure fail every waiting future."""
         try:
             return call()
         except Exception as error:  # propagate to every caller
             for future in futures:
-                try:
-                    future.set_exception(error)
-                except InvalidStateError:
-                    pass
+                self._fail(future, error)
             return None
 
     def _resolve(self, futures, results, queries: int) -> None:

@@ -18,6 +18,13 @@ Exposes the library's main workflows without writing code:
 * ``serve``     — expose a similarity service on a TCP port
   (:class:`repro.api.SimilarityServer`); composes with ``--workers`` and
   ``--batch-wait`` exactly like ``knn``;
+* ``serve-http`` — the HTTP/JSON edge
+  (:class:`repro.api.SimilarityGateway`): ``/knn``, ``/pairwise``,
+  ``/add``, ``/stats``, ``/healthz`` and a Prometheus ``/metrics``
+  endpoint over any service stack (``--workers`` shards locally,
+  ``--remote host:port`` fronts a running ``serve``/``cluster``
+  instance), with per-client rate limiting (``--rate-limit``), bounded
+  admission (``--max-inflight``) and ``X-Deadline-Ms`` deadlines;
 * ``cluster-worker`` — boot one multi-machine shard worker
   (:class:`repro.api.ShardWorker`) waiting for a coordinator to join;
 * ``cluster``   — front a set of running cluster workers with a
@@ -304,6 +311,7 @@ def cmd_serve(args) -> int:
         QueryQueue, ShardedSimilarityService, SimilarityServer,
         SimilarityService,
     )
+    from .api.remote import install_signal_shutdown
 
     database = _load_trajectories(args.data)
     backend = _resolve_backend(args.backend, args, database)
@@ -327,6 +335,9 @@ def cmd_serve(args) -> int:
             stack = queue
         server = SimilarityServer(stack, host=args.host, port=args.port,
                                   max_requests=args.max_requests)
+        # SIGTERM runs the same graceful shutdown as Ctrl-C, so launcher
+        # teardown (smoke scripts, process managers) is deterministic.
+        install_signal_shutdown(server.shutdown)
         host, port = server.address
         print(f"serving backend {backend.name} "
               f"({len(database)} trajectories) on {host}:{port}",
@@ -350,6 +361,84 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_serve_http(args) -> int:
+    """Expose a similarity service over HTTP/JSON (``repro serve-http``)."""
+    from .api import (
+        QueryQueue, RemoteSimilarityClient, ShardedSimilarityService,
+        SimilarityService,
+    )
+    from .api.gateway import SimilarityGateway
+    from .api.remote import install_signal_shutdown
+
+    service = None
+    client = None
+    queue = None
+    gateway = None
+    try:
+        if getattr(args, "remote", None):
+            # Front a running `serve` or `cluster` instance: the gateway
+            # translates HTTP/JSON onto the pickle-frame wire protocol.
+            base = client = RemoteSimilarityClient(args.remote)
+            label = f"remote service {args.remote} ({len(client)} trajectories)"
+        else:
+            if not args.data:
+                raise SystemExit(
+                    "serve-http needs --data (or --remote HOST:PORT)")
+            database = _load_trajectories(args.data)
+            backend = _resolve_backend(args.backend, args, database)
+            index, index_kwargs = _index_from_args(args)
+            if args.workers > 1:
+                service = ShardedSimilarityService(
+                    backend=backend, index=index, num_workers=args.workers,
+                    index_kwargs=index_kwargs,
+                )
+            else:
+                service = SimilarityService(backend=backend, index=index,
+                                            index_kwargs=index_kwargs)
+            service.add(database)
+            base = service
+            workers_label = (f", {args.workers} workers"
+                             if args.workers > 1 else "")
+            label = (f"backend {backend.name} ({len(database)} "
+                     f"trajectories{workers_label})")
+        stack = base
+        if args.batch_wait > 0:
+            # The QueryQueue is what lets concurrent HTTP callers batch
+            # and request deadlines drop expired work server-side.
+            queue = QueryQueue(base, max_batch=args.max_batch,
+                               max_wait=args.batch_wait,
+                               max_pending=args.max_pending)
+            stack = queue
+        gateway = SimilarityGateway(
+            stack, host=args.host, port=args.port,
+            rate_limit=args.rate_limit, burst=args.burst,
+            max_inflight=args.max_inflight, max_body=args.max_body,
+            max_requests=args.max_requests,
+        )
+        install_signal_shutdown(gateway.shutdown)
+        host, port = gateway.address
+        print(f"http gateway: {label} on http://{host}:{port}", flush=True)
+        if args.ready_file:
+            # Written only after the port is bound: a launcher (tests,
+            # `make http-smoke`) polls this file instead of racing accept.
+            with open(args.ready_file, "w") as handle:
+                handle.write(f"{host}:{port}\n")
+        try:
+            gateway.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+    finally:
+        if gateway is not None:
+            gateway.close()
+        if queue is not None:
+            queue.close()
+        if service is not None and args.workers > 1:
+            service.close()
+        if client is not None:
+            client.close()
+    return 0
+
+
 def cmd_cluster_worker(args) -> int:
     """Boot one cluster shard worker (``repro cluster-worker``)."""
     from .api.cluster import run_worker
@@ -361,6 +450,7 @@ def cmd_cluster(args) -> int:
     """Front a worker cluster with a TCP server (``repro cluster``)."""
     from .api import QueryQueue, SimilarityServer
     from .api.cluster import ClusterCoordinator
+    from .api.remote import install_signal_shutdown
 
     database = _load_trajectories(args.data)
     backend = _resolve_backend(args.backend, args, database)
@@ -384,6 +474,7 @@ def cmd_cluster(args) -> int:
             stack = queue
         server = SimilarityServer(stack, host=args.host, port=args.port,
                                   max_requests=args.max_requests)
+        install_signal_shutdown(server.shutdown)
         host, port = server.address
         print(f"cluster front-end: backend {backend.name}, "
               f"{len(database)} trajectories over {len(workers)} "
@@ -404,6 +495,19 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def _latency_summary(samples_seconds) -> dict:
+    """p50/p95/p99 (+mean) latency percentiles in milliseconds."""
+    arr = np.asarray(samples_seconds, dtype=float) * 1000.0
+    if arr.size == 0:
+        return {"p50": None, "p95": None, "p99": None, "mean": None}
+    return {
+        "p50": round(float(np.percentile(arr, 50)), 3),
+        "p95": round(float(np.percentile(arr, 95)), 3),
+        "p99": round(float(np.percentile(arr, 99)), 3),
+        "mean": round(float(arr.mean()), 3),
+    }
+
+
 def _bench_in_process(args, backend, database, queries) -> dict:
     """queries/sec by worker count, direct vs through the QueryQueue."""
     from .api import QueryQueue, ShardedSimilarityService, SimilarityService
@@ -420,18 +524,35 @@ def _bench_in_process(args, backend, database, queries) -> dict:
             service.add(database)
             service.knn(queries, k=args.k)  # warm caches in every process
 
+            latencies = []
             start = time.perf_counter()
             for _ in range(args.repeats):
                 for query in queries:
+                    t0 = time.perf_counter()
                     service.knn(query, k=args.k)
+                    latencies.append(time.perf_counter() - t0)
             unbatched = args.repeats * len(queries) / (
                 time.perf_counter() - start)
+
+            # Batched latency is submit-to-resolution: a done callback
+            # stamps each future the moment the flush thread resolves it,
+            # so queueing time counts but the result() polling loop does
+            # not.
+            batched_latencies = []
+
+            def submit_timed(queue, query):
+                t0 = time.perf_counter()
+                future = queue.submit(query, k=args.k)
+                future.add_done_callback(
+                    lambda _f, t0=t0: batched_latencies.append(
+                        time.perf_counter() - t0))
+                return future
 
             with QueryQueue(service, max_batch=args.max_batch,
                             max_wait=args.batch_wait) as queue:
                 start = time.perf_counter()
                 for _ in range(args.repeats):
-                    futures = [queue.submit(query, k=args.k)
+                    futures = [submit_timed(queue, query)
                                for query in queries]
                     for future in futures:
                         future.result()
@@ -444,6 +565,8 @@ def _bench_in_process(args, backend, database, queries) -> dict:
                 "batched_qps": round(batched, 2),
                 "batches": stats.batches,
                 "largest_batch": stats.largest_batch,
+                "latency_ms": _latency_summary(latencies),
+                "batched_latency_ms": _latency_summary(batched_latencies),
             })
         finally:
             if workers > 1:
@@ -460,20 +583,28 @@ def _bench_remote(args, backend, database, queries) -> dict:
     with SimilarityServer(service) as server:
         with RemoteSimilarityClient(*server.address) as client:
             client.knn(queries[0], k=args.k)  # connection warm-up
+            latencies = []
             start = time.perf_counter()
             for _ in range(args.repeats):
                 for query in queries:
+                    t0 = time.perf_counter()
                     client.knn(query, k=args.k)
+                    latencies.append(time.perf_counter() - t0)
             per_call = args.repeats * len(queries) / (
                 time.perf_counter() - start)
 
+            batch_latencies = []
             start = time.perf_counter()
             for _ in range(args.repeats):
+                t0 = time.perf_counter()
                 client.knn(queries, k=args.k)
+                batch_latencies.append(time.perf_counter() - t0)
             batched = args.repeats * len(queries) / (
                 time.perf_counter() - start)
     return {"results": {"qps": round(per_call, 2),
-                        "batched_qps": round(batched, 2)}}
+                        "batched_qps": round(batched, 2),
+                        "latency_ms": _latency_summary(latencies),
+                        "batch_latency_ms": _latency_summary(batch_latencies)}}
 
 
 def _bench_async(args, backend, database, queries) -> dict:
@@ -486,6 +617,13 @@ def _bench_async(args, backend, database, queries) -> dict:
     service.knn(queries, k=args.k)
     connections = max(1, args.connections)
 
+    latencies = []
+
+    async def timed_knn(client, query):
+        t0 = time.perf_counter()
+        await client.knn(query, k=args.k)
+        latencies.append(time.perf_counter() - t0)
+
     async def run(address):
         clients = [await AsyncSimilarityClient.connect(address)
                    for _ in range(connections)]
@@ -493,7 +631,7 @@ def _bench_async(args, backend, database, queries) -> dict:
         start = time.perf_counter()
         for _ in range(args.repeats):
             await asyncio.gather(*(
-                clients[i % connections].knn(query, k=args.k)
+                timed_knn(clients[i % connections], query)
                 for i, query in enumerate(queries)
             ))
         elapsed = time.perf_counter() - start
@@ -503,7 +641,8 @@ def _bench_async(args, backend, database, queries) -> dict:
 
     with SimilarityServer(service) as server:
         qps = asyncio.run(run(server.address))
-    return {"results": {"qps": round(qps, 2), "connections": connections}}
+    return {"results": {"qps": round(qps, 2), "connections": connections,
+                        "latency_ms": _latency_summary(latencies)}}
 
 
 def _bench_cluster(args, backend, database, queries) -> dict:
@@ -518,16 +657,22 @@ def _bench_cluster(args, backend, database, queries) -> dict:
             cluster.add(database)
             cluster.knn(queries, k=args.k)  # warm every shard
 
+            latencies = []
             start = time.perf_counter()
             for _ in range(args.repeats):
                 for query in queries:
+                    t0 = time.perf_counter()
                     cluster.knn(query, k=args.k)
+                    latencies.append(time.perf_counter() - t0)
             per_call = args.repeats * len(queries) / (
                 time.perf_counter() - start)
 
+            batch_latencies = []
             start = time.perf_counter()
             for _ in range(args.repeats):
+                t0 = time.perf_counter()
                 cluster.knn(queries, k=args.k)
+                batch_latencies.append(time.perf_counter() - t0)
             batched = args.repeats * len(queries) / (
                 time.perf_counter() - start)
     finally:
@@ -535,7 +680,59 @@ def _bench_cluster(args, backend, database, queries) -> dict:
             worker.close()
     return {"results": {"qps": round(per_call, 2),
                         "batched_qps": round(batched, 2),
-                        "workers": len(workers)}}
+                        "workers": len(workers),
+                        "latency_ms": _latency_summary(latencies),
+                        "batch_latency_ms": _latency_summary(batch_latencies)}}
+
+
+def _bench_http(args, backend, database, queries) -> dict:
+    """queries/sec through the HTTP/JSON gateway (sequential + concurrent)."""
+    import json
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .api import QueryQueue, SimilarityService
+    from .api.gateway import SimilarityGateway
+
+    service = SimilarityService(backend=backend).add(database)
+    service.knn(queries, k=args.k)  # warm the cache like the other modes
+    bodies = [json.dumps({"queries": [np.asarray(query).tolist()],
+                          "k": args.k}).encode() for query in queries]
+    connections = max(1, args.connections)
+
+    with QueryQueue(service, max_batch=args.max_batch,
+                    max_wait=args.batch_wait) as queue:
+        with SimilarityGateway(queue) as gateway:
+            url = gateway.url + "/knn"
+
+            def post(body):
+                request = urllib.request.Request(
+                    url, data=body,
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    response.read()
+
+            post(bodies[0])  # connection + JSON-path warm-up
+            latencies = []
+            start = time.perf_counter()
+            for _ in range(args.repeats):
+                for body in bodies:
+                    t0 = time.perf_counter()
+                    post(body)
+                    latencies.append(time.perf_counter() - t0)
+            per_call = args.repeats * len(bodies) / (
+                time.perf_counter() - start)
+
+            with ThreadPoolExecutor(max_workers=connections) as pool:
+                start = time.perf_counter()
+                for _ in range(args.repeats):
+                    list(pool.map(post, bodies))
+                concurrent = args.repeats * len(bodies) / (
+                    time.perf_counter() - start)
+    return {"results": {"qps": round(per_call, 2),
+                        "concurrent_qps": round(concurrent, 2),
+                        "connections": connections,
+                        "latency_ms": _latency_summary(latencies)}}
 
 
 def merge_bench_scenarios(existing: Optional[dict], scenarios: dict,
@@ -587,7 +784,8 @@ def cmd_serve_bench(args) -> int:
     queries = database[:min(args.queries, len(database))]
 
     runners = {"in_process": _bench_in_process, "remote": _bench_remote,
-               "async": _bench_async, "cluster": _bench_cluster}
+               "async": _bench_async, "cluster": _bench_cluster,
+               "http": _bench_http}
     names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
     unknown = [name for name in names if name not in runners]
     if unknown:
@@ -637,6 +835,13 @@ def cmd_serve_bench(args) -> int:
         print(f"cluster: {result['qps']} q/s per-call, "
               f"{result['batched_qps']} q/s batched "
               f"over {result['workers']} workers")
+    if "http" in scenarios:
+        result = scenarios["http"]["results"]
+        latency = result["latency_ms"]
+        print(f"http: {result['qps']} q/s sequential, "
+              f"{result['concurrent_qps']} q/s over "
+              f"{result['connections']} connections "
+              f"(p50 {latency['p50']} ms, p99 {latency['p99']} ms)")
     if args.output:
         print(f"written to {args.output}")
     return 0
@@ -773,6 +978,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_encode_args(p)
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser("serve-http",
+                       help="serve kNN/pairwise queries over HTTP/JSON")
+    p.add_argument("--checkpoint", help="TrajCL checkpoint "
+                   "(required for --backend trajcl)")
+    p.add_argument("--data",
+                   help="trajectories .npz served as the database "
+                        "(omit when fronting --remote)")
+    p.add_argument("--backend", default="trajcl",
+                   help="backend name (see 'backends'; default: trajcl)")
+    p.add_argument("--index", default="auto",
+                   choices=["auto", "bruteforce", "ivf", "segment"],
+                   help="kNN index (auto: exact default for the backend)")
+    p.add_argument("--lists", type=int, default=16, help="IVF lists")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="HTTP port (0: pick an ephemeral port and print it)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the database across this many worker "
+                        "processes (1: single-process service)")
+    p.add_argument("--remote",
+                   help="front an already-running serve/cluster instance at "
+                        "HOST:PORT instead of building a local service")
+    p.add_argument("--batch-wait", type=float, default=0.002,
+                   help="coalesce concurrent HTTP queries through a "
+                        "QueryQueue with this window in seconds (0: direct)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="QueryQueue flush size when --batch-wait > 0")
+    p.add_argument("--max-pending", type=int, default=1024,
+                   help="QueryQueue admission bound; excess requests are "
+                        "shed with HTTP 429")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   help="per-client token-bucket rate in requests/second "
+                        "(default: unlimited)")
+    p.add_argument("--burst", type=float, default=None,
+                   help="token-bucket burst capacity (default: rate)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="concurrent requests admitted before shedding "
+                        "with HTTP 429")
+    p.add_argument("--max-body", type=int, default=8 << 20,
+                   help="largest accepted request body in bytes")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="shut down after serving this many requests "
+                        "(smoke tests; default: serve until interrupted)")
+    p.add_argument("--ready-file",
+                   help="write 'host:port' here once the gateway is "
+                        "listening (for launchers that must not race)")
+    p.add_argument("--train-epochs", type=int, default=1,
+                   help="training epochs for learned non-trajcl backends")
+    p.add_argument("--seed", type=int, default=0)
+    _add_encode_args(p)
+    p.set_defaults(func=cmd_serve_http)
+
     p = sub.add_parser("cluster-worker",
                        help="boot one multi-machine shard worker")
     p.add_argument("--host", default="127.0.0.1")
@@ -852,13 +1109,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--max-batch", type=int, default=64)
     p.add_argument("--batch-wait", type=float, default=0.005)
-    p.add_argument("--scenarios", default="in_process,remote,async,cluster",
+    p.add_argument("--scenarios", default="in_process,remote,async,cluster,http",
                    help="comma-separated subset of in_process/remote/async/"
-                        "cluster; scenarios not re-run keep their previous "
-                        "numbers in --output")
+                        "cluster/http; scenarios not re-run keep their "
+                        "previous numbers in --output")
     p.add_argument("--connections", type=int, default=4,
-                   help="concurrent asyncio connections in the async "
-                        "scenario")
+                   help="concurrent connections in the async and http "
+                        "scenarios")
     p.add_argument("--cluster-workers", type=int, default=2,
                    help="shard workers booted for the cluster scenario")
     p.add_argument("--train-epochs", type=int, default=1)

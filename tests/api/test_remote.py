@@ -328,6 +328,83 @@ class TestErrorPaths:
         server.close()
 
 
+class TestMultiClientSoak:
+    """N concurrent clients, each its own connection, M requests apiece —
+    the replies must never cross-talk and the server must close cleanly
+    with every handler reaped."""
+
+    def test_concurrent_clients_zero_crosstalk(self, local_service,
+                                               trajectories):
+        clients, per_client = 6, 15
+        expected = {
+            i: local_service.knn(trajectories[i], k=4, exclude=i)
+            for i in range(len(trajectories))
+        }
+        failures = []
+        barrier = threading.Barrier(clients)
+        server = SimilarityServer(local_service)
+
+        def worker(worker_id):
+            try:
+                with RemoteSimilarityClient(*server.address) as cli:
+                    barrier.wait(timeout=30)
+                    for step in range(per_client):
+                        i = (worker_id * 7 + step) % len(trajectories)
+                        d, ids = cli.knn(trajectories[i], k=4, exclude=i)
+                        exp_d, exp_i = expected[i]
+                        # Bit-identical or it's another caller's answer.
+                        assert d.tobytes() == exp_d.tobytes(), (worker_id, i)
+                        assert ids.tobytes() == exp_i.tobytes(), (worker_id, i)
+            except Exception as error:  # surfaced below
+                failures.append((worker_id, repr(error)))
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(clients)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+            assert not failures, failures[:3]
+            with RemoteSimilarityClient(*server.address) as cli:
+                assert cli.stats()["requests"] >= clients * per_client
+        finally:
+            server.close()
+        assert server.closed
+        server.close()  # idempotent after a soak, like everywhere else
+
+
+class TestSignalShutdown:
+    def test_sigterm_runs_graceful_shutdown(self, local_service):
+        import signal
+
+        from repro.api.remote import install_signal_shutdown
+
+        server = SimilarityServer(local_service)
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            assert install_signal_shutdown(server.shutdown) is True
+            signal.raise_signal(signal.SIGTERM)
+            # The handler only sets the event; serve_forever runs close().
+            server.serve_forever(poll_interval=0.01)
+            assert server.closed
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+            server.close()
+
+    def test_refuses_off_main_thread(self):
+        from repro.api.remote import install_signal_shutdown
+
+        outcome = []
+        thread = threading.Thread(
+            target=lambda: outcome.append(
+                install_signal_shutdown(lambda: None)))
+        thread.start()
+        thread.join(timeout=30)
+        assert outcome == [False]
+
+
 @pytest.mark.slow
 class TestSustainedServing:
     """Stress the full stack: many threaded clients hammering a server

@@ -8,7 +8,9 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    DeadlineExceededError,
     QueryQueue,
+    QueueFullError,
     ShardedSimilarityService,
     SimilarityService,
     get_backend,
@@ -362,6 +364,90 @@ class TestQueuePairwise:
                 future.result(timeout=30)
         # The flush thread survived the failure.
         assert queue.queue_stats.batches >= 0
+
+
+class _GatedService:
+    """Wraps a service so knn blocks until released — makes queue-depth
+    tests deterministic instead of racing the flush thread."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.started = threading.Event()
+        self.gate = threading.Event()
+
+    def knn(self, queries, k, exclude=None, dedupe_eps=None):
+        self.started.set()
+        assert self.gate.wait(timeout=30)
+        return self.inner.knn(queries, k, exclude=exclude,
+                              dedupe_eps=dedupe_eps)
+
+
+class TestQueueAdmission:
+    """Bounded admission (max_pending) and per-request deadlines."""
+
+    def test_validation(self, single_service):
+        with pytest.raises(ValueError, match="max_pending"):
+            QueryQueue(single_service, max_pending=0)
+
+    def test_queue_full_sheds_and_counts(self, single_service, trajectories):
+        gated = _GatedService(single_service)
+        with QueryQueue(gated, max_batch=1, max_wait=0.001,
+                        max_pending=2) as queue:
+            first = queue.submit(trajectories[0], k=2)
+            # The flush thread is now parked inside the gated knn; anything
+            # submitted from here on sits in the pending deque.
+            assert gated.started.wait(timeout=30)
+            second = queue.submit(trajectories[1], k=2)
+            third = queue.submit(trajectories[2], k=2)
+            with pytest.raises(QueueFullError, match="full"):
+                queue.submit(trajectories[3], k=2)
+            assert queue.pending == 2
+            gated.gate.set()
+            for future in (first, second, third):
+                distances, ids = future.result(timeout=30)
+                assert ids.shape == (2,)
+            stats = queue.queue_stats
+        assert stats.rejected == 1
+        assert stats.queries == 3
+
+    def test_expired_deadline_fails_future(self, single_service,
+                                           trajectories):
+        import time
+
+        with QueryQueue(single_service, max_wait=0.01) as queue:
+            expired = queue.submit(trajectories[0], k=2,
+                                   deadline=time.monotonic() - 1.0)
+            alive = queue.submit(trajectories[1], k=2,
+                                 deadline=time.monotonic() + 30.0)
+            with pytest.raises(DeadlineExceededError, match="deadline"):
+                expired.result(timeout=30)
+            distances, ids = alive.result(timeout=30)
+            assert ids.shape == (2,)
+            stats = queue.queue_stats
+        assert stats.expired == 1
+        # The expired entry never reached the service.
+        assert stats.queries == 1
+
+    def test_expired_pairwise_deadline(self, single_service, trajectories):
+        import time
+
+        with QueryQueue(single_service, max_wait=0.01) as queue:
+            future = queue.submit_pairwise(trajectories[0],
+                                           deadline=time.monotonic() - 1.0)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=30)
+        assert queue.queue_stats.expired == 1
+
+    def test_counters_surface_in_stats(self, single_service, trajectories):
+        with QueryQueue(single_service, max_wait=0.01,
+                        max_pending=8) as queue:
+            queue.knn(trajectories[0], k=2, timeout=30)
+            report = queue.stats()["queue"]
+        assert {"queries", "batches", "largest_batch", "rejected",
+                "expired", "pending"} <= set(report)
+        assert report["rejected"] == 0
+        assert report["expired"] == 0
+        assert report["pending"] == 0
 
 
 class TestUnifiedStats:

@@ -239,10 +239,11 @@ class TestServingCli:
         printed = capsys.readouterr().out
         assert "unbatched q/s" in printed
         assert "remote:" in printed and "async:" in printed
-        assert "cluster:" in printed
+        assert "cluster:" in printed and "http:" in printed
         payload = json.loads(open(out_path).read())
         scenarios = payload["scenarios"]
-        assert set(scenarios) == {"in_process", "remote", "async", "cluster"}
+        assert set(scenarios) == {"in_process", "remote", "async", "cluster",
+                                  "http"}
         assert scenarios["in_process"]["config"]["backend"] == "hausdorff"
         rows = scenarios["in_process"]["results"]
         assert [r["workers"] for r in rows] == [1, 2]
@@ -254,6 +255,15 @@ class TestServingCli:
         assert scenarios["async"]["results"]["qps"] > 0
         assert scenarios["cluster"]["results"]["qps"] > 0
         assert scenarios["cluster"]["results"]["workers"] == 2
+        assert scenarios["http"]["results"]["qps"] > 0
+        assert scenarios["http"]["results"]["concurrent_qps"] > 0
+        # Every scenario reports latency percentiles beside its q/s.
+        for name, results in scenarios.items():
+            rows = results["results"]
+            for row in rows if isinstance(rows, list) else [rows]:
+                summary = row["latency_ms"]
+                assert summary["p50"] > 0
+                assert summary["p50"] <= summary["p95"] <= summary["p99"]
 
     def test_serve_bench_merges_by_scenario(self, dataset_path, tmp_path,
                                             capsys):
@@ -395,3 +405,54 @@ class TestClusterCli:
             thread.join(timeout=30)
         assert not thread.is_alive()
         assert rc.get("worker") == 0
+
+
+class TestServeHttpCli:
+    def test_serve_http_answers_json_knn(self, dataset_path, tmp_path,
+                                         capsys):
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        from repro.api import SimilarityService
+
+        ready = tmp_path / "http-ready"
+        # Two HTTP requests (knn + healthz) trip max_requests, so the
+        # gateway shuts itself down and the serve thread returns.
+        argv = ["serve-http", "--data", dataset_path,
+                "--backend", "hausdorff", "--port", "0",
+                "--ready-file", str(ready), "--max-requests", "2"]
+        rc = {}
+        thread = threading.Thread(
+            target=lambda: rc.setdefault("serve", main(argv)))
+        thread.start()
+        try:
+            for _ in range(200):
+                if ready.exists():
+                    break
+                time.sleep(0.05)
+            address = ready.read_text().strip()
+            trajectories = _load_trajectories(dataset_path)
+            body = json.dumps({
+                "queries": [np.asarray(trajectories[1]).tolist()],
+                "k": 3, "exclude": 1,
+            }).encode()
+            request = urllib.request.Request(
+                f"http://{address}/knn", data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+                reply = json.loads(response.read())
+            with urllib.request.urlopen(f"http://{address}/healthz",
+                                        timeout=30) as response:
+                assert json.loads(response.read())["status"] == "ok"
+        finally:
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert rc.get("serve") == 0
+        assert "http gateway: backend hausdorff" in capsys.readouterr().out
+        expected = SimilarityService(backend="hausdorff").add(trajectories)
+        expected_d, expected_i = expected.knn(trajectories[1], k=3, exclude=1)
+        np.testing.assert_array_equal(np.asarray(reply["ids"]), expected_i)
+        np.testing.assert_allclose(np.asarray(reply["distances"]), expected_d)
