@@ -1,20 +1,33 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all smoke serve-smoke cluster-smoke http-smoke bench serve-bench bench-encode
+.PHONY: test test-all lint lint-smoke smoke serve-smoke cluster-smoke http-smoke bench serve-bench bench-encode
 
 # Tier-1 suite (the repo's verification gate; deselects `slow`-marked
 # serving stress tests — see pytest.ini).
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Everything: the full pytest suite (including the slow serving stress
-# tests) plus all three real-process smoke runs.
-test-all:
-	$(PYTHON) -m pytest -x -q -m ""
+# Everything: lint first (cheapest gate), then the full pytest suite
+# (including the slow serving stress tests) with the runtime lock-order
+# sanitizer armed, then all four real-process smoke runs.
+test-all: lint
+	REPRO_LOCK_SANITIZER=1 $(PYTHON) -m pytest -x -q -m ""
 	$(PYTHON) scripts/serve_smoke.py
 	$(PYTHON) scripts/cluster_smoke.py
 	$(PYTHON) scripts/http_smoke.py
+	$(PYTHON) scripts/lint_smoke.py
+
+# Concurrency-aware static analysis over src/ (see src/repro/analysis):
+# lock-order cycles, unlocked shared writes, blocking calls under locks,
+# pickle/registry/npz invariants. Exits nonzero on any finding.
+lint:
+	$(PYTHON) -m repro lint src
+
+# Drives `repro lint --format json` as a subprocess, the same entry
+# point CI consumes, and checks the machine-readable contract.
+lint-smoke:
+	$(PYTHON) scripts/lint_smoke.py
 
 # End-to-end CLI pipeline (generate -> train -> evaluate -> knn) on a tiny
 # dataset; finishes in well under a minute.

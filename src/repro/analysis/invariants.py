@@ -1,0 +1,303 @@
+"""Repo-invariant rules: R301–R306.
+
+These encode decisions this codebase has already made, so drift is
+caught at lint time instead of in review:
+
+* **R301** — pickle is a deserialization attack surface; the repo
+  confines it to the framed-RPC codec in ``repro/api/transport.py``.
+* **R302** — similarity methods and indexes are dispatched through the
+  ``repro.api`` registries; a hand-rolled ``if name == "trajcl": ...``
+  chain silently misses newly registered backends.
+* **R303** — mutable default arguments alias across calls.
+* **R304** — bare ``except:`` swallows ``KeyboardInterrupt`` /
+  ``SystemExit``, which breaks the serving stack's graceful shutdown.
+* **R305** — ``np.asarray`` / ``np.array`` on an embedding array
+  without ``dtype=`` silently re-infers dtype; the float32 cache work
+  (PR 4) made embedding dtype part of the contract.
+* **R306** — every ``.npz`` artifact writer stamps ``format_version``
+  so snapshots stay loadable across releases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from .core import Checker, FileContext, Finding, Rule, register_checker
+
+__all__ = [
+    "RULE_R301", "RULE_R302", "RULE_R303",
+    "RULE_R304", "RULE_R305", "RULE_R306",
+]
+
+RULE_R301 = Rule(
+    "R301", "error",
+    "pickle use outside repro/api/transport.py",
+    "route serialization through repro.api.transport (the one audited "
+    "pickle boundary) or use an explicit format (json, npz)",
+)
+RULE_R302 = Rule(
+    "R302", "warning",
+    "hand-rolled backend/index dispatch bypassing the registries",
+    "call repro.api.get_backend(name) / the index registry instead of "
+    "comparing the name against literals",
+)
+RULE_R303 = Rule(
+    "R303", "warning",
+    "mutable default argument",
+    "default to None and create the list/dict/set inside the function",
+)
+RULE_R304 = Rule(
+    "R304", "warning",
+    "bare `except:` clause",
+    "catch Exception (or something narrower); bare except swallows "
+    "KeyboardInterrupt/SystemExit and breaks graceful shutdown",
+)
+RULE_R305 = Rule(
+    "R305", "warning",
+    "np.array/np.asarray on an embedding value without dtype=",
+    "pass dtype= explicitly (embedding dtype is part of the cache/index "
+    "contract since the float32 cache work)",
+)
+RULE_R306 = Rule(
+    "R306", "warning",
+    "np.savez* writer without a format_version field",
+    "include format_version in the saved mapping so the artifact can be "
+    "validated on load",
+)
+
+#: modules where pickle use is by design
+_PICKLE_ALLOWED_MODULES = {"transport"}
+#: modules that legitimately compare backend/index names
+_DISPATCH_ALLOWED_MODULES = {"registry", "backends", "indexes", "service"}
+#: registered similarity backends + index kinds (see repro.api.registry)
+_KNOWN_DISPATCH_NAMES = {
+    "trajcl", "t2vec", "neutraj", "traj2simvec", "cstrm", "e2dtc",
+    "t3s", "trajgat", "trjsr", "hausdorff", "frechet", "edr", "edwp",
+    "bruteforce", "ivf", "segment",
+}
+
+
+def _attr_chain(node: ast.AST) -> str:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register_checker
+class PickleBoundaryChecker(Checker):
+    """R301 — pickle stays inside the transport codec."""
+
+    rules = (RULE_R301,)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name in _PICKLE_ALLOWED_MODULES:
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain in {
+                "pickle.load", "pickle.loads", "pickle.dump", "pickle.dumps",
+                "pickle.Unpickler", "pickle.Pickler", "cPickle.loads",
+                "cPickle.load",
+            }:
+                findings.append(ctx.finding(
+                    RULE_R301, node, f"{chain}(...) outside transport.py",
+                ))
+                continue
+            if chain.endswith("np.load") or chain == "numpy.load":
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "allow_pickle"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        findings.append(ctx.finding(
+                            RULE_R301, node,
+                            "np.load(..., allow_pickle=True) outside "
+                            "transport.py",
+                        ))
+        return findings
+
+
+@register_checker
+class RegistryBypassChecker(Checker):
+    """R302 — if/elif ladders re-implementing registry dispatch."""
+
+    rules = (RULE_R302,)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name in _DISPATCH_ALLOWED_MODULES:
+            return ()
+        findings: List[Finding] = []
+        seen_chain_heads = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If) or id(node) in seen_chain_heads:
+                continue
+            # Walk the elif chain once, from its head.
+            parent = FileContext.parent(node)
+            if isinstance(parent, ast.If) and node in parent.orelse:
+                continue
+            matches = {}
+            current: Optional[ast.If] = node
+            while current is not None:
+                seen_chain_heads.add(id(current))
+                for var, value in self._dispatch_compares(current.test):
+                    matches.setdefault(var, set()).add(value)
+                nxt = current.orelse
+                current = (
+                    nxt[0]
+                    if len(nxt) == 1 and isinstance(nxt[0], ast.If)
+                    else None
+                )
+            for var, values in matches.items():
+                if len(values) >= 2:
+                    names = ", ".join(sorted(values))
+                    findings.append(ctx.finding(
+                        RULE_R302, node,
+                        f"if/elif chain dispatches on {var!r} against "
+                        f"registered names ({names}) instead of using the "
+                        f"registry",
+                    ))
+        return findings
+
+    @staticmethod
+    def _dispatch_compares(test: ast.AST):
+        """(variable, known-name) pairs compared for equality in a test."""
+        out = []
+        for node in ast.walk(test):
+            if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+                continue
+            if not isinstance(node.ops[0], ast.Eq):
+                continue
+            left, right = node.left, node.comparators[0]
+            if isinstance(left, ast.Constant):  # "trajcl" == name
+                left, right = right, left
+            if (
+                isinstance(left, ast.Name)
+                and isinstance(right, ast.Constant)
+                and isinstance(right.value, str)
+                and right.value in _KNOWN_DISPATCH_NAMES
+            ):
+                out.append((left.id, right.value))
+        return out
+
+
+@register_checker
+class MutableDefaultChecker(Checker):
+    """R303 — list/dict/set literals as default arguments."""
+
+    rules = (RULE_R303,)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in {"list", "dict", "set"}
+                ):
+                    findings.append(ctx.finding(
+                        RULE_R303, default,
+                        f"mutable default argument in {node.name}(...)",
+                    ))
+        return findings
+
+
+@register_checker
+class BareExceptChecker(Checker):
+    """R304 — except clauses with no exception type."""
+
+    rules = (RULE_R304,)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(ctx.finding(
+                    RULE_R304, node, "bare `except:` clause",
+                ))
+        return findings
+
+
+@register_checker
+class EmbeddingDtypeChecker(Checker):
+    """R305 — dtype-dropping numpy conversions of embedding arrays."""
+
+    rules = (RULE_R305,)
+
+    _CONVERTERS = {"array", "asarray", "asanyarray", "ascontiguousarray"}
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._CONVERTERS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in {"np", "numpy"}
+            ):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            for arg in node.args[:1]:
+                text = _attr_chain(arg) if isinstance(
+                    arg, (ast.Name, ast.Attribute)
+                ) else ""
+                if "emb" in text.lower():
+                    findings.append(ctx.finding(
+                        RULE_R305, node,
+                        f"np.{func.attr}({text}, ...) without dtype= drops "
+                        f"the embedding dtype contract",
+                    ))
+        return findings
+
+
+@register_checker
+class NpzFormatVersionChecker(Checker):
+    """R306 — npz writers that don't stamp format_version."""
+
+    rules = (RULE_R306,)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in {"savez", "savez_compressed"}
+            ):
+                continue
+            scope = ctx.enclosing(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) or ctx.tree
+            stamped = any(
+                isinstance(sub, ast.Constant) and sub.value == "format_version"
+                for sub in ast.walk(scope)
+            ) or any(
+                kw.arg == "format_version" for kw in node.keywords
+            )
+            if not stamped:
+                findings.append(ctx.finding(
+                    RULE_R306, node,
+                    f"np.{func.attr}(...) writer has no format_version field "
+                    f"in scope",
+                ))
+        return findings

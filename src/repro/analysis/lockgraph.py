@@ -1,0 +1,472 @@
+"""Static lock model for the serving stack, and the lock-order checker.
+
+The model is shared by every concurrency rule:
+
+* :func:`collect_class_locks` — which ``self._*`` attributes of a class
+  are locks (assigned from ``threading.Lock()`` / ``RLock()`` /
+  ``Condition()`` / semaphores anywhere in the class);
+* :func:`iter_lock_events` — a held-lock-aware walk of one function
+  body, yielding an :class:`Event` per call, store, attribute access and
+  lock acquisition, each tagged with the stack of locks held at that
+  point (nested ``def``/``lambda`` bodies reset the stack — they run
+  later, possibly on another thread);
+* :func:`build_lock_model` — the cross-file acquisition graph: nodes
+  are ``module:Class.attr`` lock sites, edges mean "held the first
+  while acquiring the second", either directly (nested ``with``),
+  through a ``self.method()`` call chain, or through a typed attribute
+  (``self._coordinator = ClusterCoordinator(...)`` followed by
+  ``self._coordinator.query(...)`` under a held lock).
+
+Rule ``C201`` flags every strongly-connected component of that graph —
+a lock-order cycle is precisely the static precondition for an ABBA
+deadlock, the bug class PR 5/PR 6 fixed by hand.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .core import Checker, FileContext, Finding, Rule, register_checker
+
+__all__ = [
+    "LOCK_FACTORIES",
+    "Event",
+    "collect_class_locks",
+    "collect_module_locks",
+    "iter_lock_events",
+    "build_lock_model",
+    "LockModel",
+    "RULE_C201",
+]
+
+#: ``threading`` factories whose result we treat as a lock
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def lock_factory_kind(node: ast.AST) -> Optional[str]:
+    """``"Lock"``/``"RLock"``/... when ``node`` is a lock-creating call.
+
+    ``asyncio`` locks are excluded: awaiting while holding one does not
+    block a thread, so the thread-lock rules don't apply to them.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in LOCK_FACTORIES:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in LOCK_FACTORIES:
+        owner = func.value
+        if isinstance(owner, ast.Name) and owner.id == "asyncio":
+            return None
+        return func.attr
+    return None
+
+
+def collect_class_locks(class_node: ast.ClassDef) -> Dict[str, str]:
+    """``self`` attributes of the class that hold locks → factory kind."""
+    locks: Dict[str, str] = {}
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Assign):
+            continue
+        kind = lock_factory_kind(node.value)
+        if kind is None:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks[target.attr] = kind
+    return locks
+
+
+def collect_module_locks(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = threading.Lock()`` style globals."""
+    locks: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            kind = lock_factory_kind(node.value)
+            if kind is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    locks[target.id] = kind
+    return locks
+
+
+@dataclass(frozen=True)
+class Event:
+    """One point of interest inside a function, with the held-lock stack.
+
+    ``kind`` is ``"acquire"`` (a ``with <lock>:`` entry — ``lock`` names
+    it), ``"call"`` (any :class:`ast.Call`), ``"store"`` (assignment /
+    augmented assignment statement) or ``"access"`` (any ``self.<attr>``
+    expression). ``held`` is a tuple of ``(lock_name, context_dump)``
+    pairs, innermost last — ``context_dump`` is the :func:`ast.dump` of
+    the ``with`` context expression, used to exempt calls on the very
+    object being held (``self._condition.wait()`` inside
+    ``with self._condition:``).
+    """
+
+    kind: str
+    node: ast.AST
+    held: Tuple[Tuple[str, str], ...]
+    lock: Optional[str] = None
+
+
+def _lock_name(
+    expr: ast.AST, lock_attrs: Dict[str, str], module_locks: Dict[str, str]
+) -> Optional[str]:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in lock_attrs
+    ):
+        return expr.attr
+    if isinstance(expr, ast.Name) and expr.id in module_locks:
+        return expr.id
+    return None
+
+
+def iter_lock_events(
+    func: ast.AST,
+    lock_attrs: Dict[str, str],
+    module_locks: Optional[Dict[str, str]] = None,
+) -> List[Event]:
+    """Walk ``func``'s body and return its lock-tagged events in order."""
+    module_locks = module_locks or {}
+    events: List[Event] = []
+
+    def emit(kind, node, held, lock=None):
+        events.append(Event(kind, node, tuple(held), lock))
+
+    def walk(node, held):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, possibly on another thread: the
+            # enclosing held stack does not apply to its body.
+            for default in node.args.defaults + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                walk(default, held)
+            for child in node.body:
+                walk(child, [])
+            return
+        if isinstance(node, ast.Lambda):
+            walk(node.body, [])
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in node.items:
+                walk(item.context_expr, inner)
+                name = _lock_name(item.context_expr, lock_attrs, module_locks)
+                if name is not None:
+                    emit("acquire", item.context_expr, inner, lock=name)
+                    inner.append((name, ast.dump(item.context_expr)))
+            for child in node.body:
+                walk(child, inner)
+            return
+        if isinstance(node, ast.Call):
+            emit("call", node, held)
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            emit("store", node, held)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            emit("access", node, held)
+        for child in ast.iter_child_nodes(node):
+            walk(child, held)
+
+    body = getattr(func, "body", None)
+    if isinstance(body, list):
+        for child in body:
+            walk(child, [])
+    else:
+        walk(func, [])
+    return events
+
+
+# ----------------------------------------------------------------------
+# The cross-file model
+# ----------------------------------------------------------------------
+@dataclass
+class MethodUsage:
+    """Per-method slice of the model."""
+
+    events: List[Event]
+    #: direct ``self.m()`` call names, with the held stack at the call
+    self_calls: List[Tuple[str, Tuple, ast.AST]] = field(default_factory=list)
+    #: ``self.attr.m()`` calls, with the held stack at the call
+    attr_calls: List[Tuple[str, str, Tuple, ast.AST]] = field(default_factory=list)
+
+
+@dataclass
+class ClassUsage:
+    qualname: str  # "module:Class"
+    ctx: FileContext
+    node: ast.ClassDef
+    lock_attrs: Dict[str, str]
+    #: ``self.X = SomeClass(...)`` typed attributes → simple class name
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, MethodUsage] = field(default_factory=dict)
+
+
+@dataclass
+class LockModel:
+    """Every class's lock usage plus the acquisition-order edge set."""
+
+    classes: Dict[str, ClassUsage]
+    #: edges: (from_node, to_node) → (ctx, ast node, description)
+    edges: Dict[Tuple[str, str], Tuple[FileContext, ast.AST, str]]
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        return sorted(self.edges)
+
+
+def _call_target(node: ast.Call):
+    """Classify a call: ("self", meth) / ("attr", attr, meth) / None."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    owner = func.value
+    if isinstance(owner, ast.Name) and owner.id == "self":
+        return ("self", func.attr)
+    if (
+        isinstance(owner, ast.Attribute)
+        and isinstance(owner.value, ast.Name)
+        and owner.value.id == "self"
+    ):
+        return ("attr", owner.attr, func.attr)
+    return None
+
+
+def build_lock_model(contexts: Sequence[FileContext]) -> LockModel:
+    classes: Dict[str, ClassUsage] = {}
+    by_simple_name: Dict[str, str] = {}
+
+    for ctx in contexts:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            qualname = f"{ctx.module_name}:{node.name}"
+            usage = ClassUsage(
+                qualname=qualname,
+                ctx=ctx,
+                node=node,
+                lock_attrs=collect_class_locks(node),
+            )
+            classes[qualname] = usage
+            by_simple_name.setdefault(node.name, qualname)
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                events = iter_lock_events(item, usage.lock_attrs)
+                method = MethodUsage(events=events)
+                for event in events:
+                    if event.kind != "call":
+                        continue
+                    target = _call_target(event.node)
+                    if target is None:
+                        continue
+                    if target[0] == "self":
+                        method.self_calls.append((target[1], event.held, event.node))
+                    else:
+                        method.attr_calls.append(
+                            (target[1], target[2], event.held, event.node)
+                        )
+                usage.methods[item.name] = method
+            # typed attributes: self.X = KnownClass(...)
+            for sub in ast.walk(node):
+                if not (isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call)):
+                    continue
+                func = sub.value.func
+                name = None
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if name is None or not name[:1].isupper():
+                    continue
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        usage.attr_types[target.attr] = name
+
+    # Transitive closure: every lock a method may acquire, following
+    # self-calls and typed-attribute calls.
+    closure_memo: Dict[Tuple[str, str], Set[str]] = {}
+
+    def closure(qualname: str, meth: str, stack: frozenset) -> Set[str]:
+        key = (qualname, meth)
+        if key in closure_memo:
+            return closure_memo[key]
+        if key in stack:
+            return set()
+        usage = classes.get(qualname)
+        if usage is None or meth not in usage.methods:
+            return set()
+        stack = stack | {key}
+        acquired: Set[str] = set()
+        method = usage.methods[meth]
+        for event in method.events:
+            if event.kind == "acquire":
+                acquired.add(f"{qualname}.{event.lock}")
+        for callee, _held, _node in method.self_calls:
+            acquired |= closure(qualname, callee, stack)
+        for attr, callee, _held, _node in method.attr_calls:
+            target_cls = by_simple_name.get(usage.attr_types.get(attr, ""))
+            if target_cls:
+                acquired |= closure(target_cls, callee, stack)
+        closure_memo[key] = acquired
+        return acquired
+
+    edges: Dict[Tuple[str, str], Tuple[FileContext, ast.AST, str]] = {}
+
+    def add_edge(src, dst, ctx, node, why):
+        if src == dst:
+            return  # reentrant same-lock nesting is RLock territory
+        edges.setdefault((src, dst), (ctx, node, why))
+
+    for qualname, usage in classes.items():
+        for meth, method in usage.methods.items():
+            where = f"{qualname}.{meth}"
+            for event in method.events:
+                if event.kind != "acquire":
+                    continue
+                dst = f"{qualname}.{event.lock}"
+                for held_name, _dump in event.held:
+                    add_edge(
+                        f"{qualname}.{held_name}", dst, usage.ctx, event.node,
+                        f"nested with in {where}",
+                    )
+            for callee, held, node in method.self_calls:
+                if not held:
+                    continue
+                for dst in closure(qualname, callee, frozenset()):
+                    for held_name, _dump in held:
+                        add_edge(
+                            f"{qualname}.{held_name}", dst, usage.ctx, node,
+                            f"{where} calls self.{callee}() while holding "
+                            f"{held_name}",
+                        )
+            for attr, callee, held, node in method.attr_calls:
+                if not held:
+                    continue
+                target_cls = by_simple_name.get(usage.attr_types.get(attr, ""))
+                if not target_cls:
+                    continue
+                for dst in closure(target_cls, callee, frozenset()):
+                    for held_name, _dump in held:
+                        add_edge(
+                            f"{qualname}.{held_name}", dst, usage.ctx, node,
+                            f"{where} calls self.{attr}.{callee}() while "
+                            f"holding {held_name}",
+                        )
+
+    return LockModel(classes=classes, edges=edges)
+
+
+# ----------------------------------------------------------------------
+# C201: lock-order cycles
+# ----------------------------------------------------------------------
+RULE_C201 = Rule(
+    "C201", "error",
+    "lock-order cycle in the acquisition graph (ABBA deadlock precondition)",
+    "pick one global acquisition order for the locks in the cycle and "
+    "restructure the later acquisition to happen outside the earlier lock",
+)
+
+
+def _cycles(edges: Iterable[Tuple[str, str]]) -> List[List[str]]:
+    """Strongly-connected components with ≥ 2 nodes, as sorted node lists."""
+    graph: Dict[str, List[str]] = {}
+    for src, dst in edges:
+        graph.setdefault(src, []).append(dst)
+        graph.setdefault(dst, [])
+
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    sccs: List[List[str]] = []
+
+    def strongconnect(node: str):
+        # Iterative Tarjan to keep recursion bounded on big graphs.
+        work = [(node, iter(graph[node]))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[current] = min(low[current], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+@register_checker
+class LockOrderChecker(Checker):
+    """C201 — ABBA cycles in the cross-file lock-acquisition graph."""
+
+    rules = (RULE_C201,)
+
+    def check_project(self, contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        model = build_lock_model(contexts)
+        findings: List[Finding] = []
+        for component in _cycles(model.edges):
+            members = set(component)
+            # Anchor the finding at the first in-cycle edge we recorded.
+            anchor = None
+            reasons = []
+            for (src, dst), (ctx, node, why) in sorted(model.edges.items()):
+                if src in members and dst in members:
+                    if anchor is None:
+                        anchor = (ctx, node)
+                    reasons.append(why)
+            ctx, node = anchor
+            path = " -> ".join(component + [component[0]])
+            findings.append(ctx.finding(
+                RULE_C201, node,
+                f"locks form an acquisition cycle: {path} "
+                f"(via: {'; '.join(reasons[:3])})",
+            ))
+        return findings

@@ -382,7 +382,8 @@ class ClusterCoordinator(ShardMergeMixin):
 
     @property
     def shard_sizes(self) -> List[int]:
-        return [len(ids) for ids in self._shard_ids]
+        with self._rpc_lock:  # atomic with the add() commit
+            return [len(ids) for ids in self._shard_ids]
 
     def _degrade(self, link: _WorkerLink, reason: str) -> None:
         """Mark a worker dead and sever its channels (idempotent).
@@ -431,6 +432,7 @@ class ClusterCoordinator(ShardMergeMixin):
             answered, failures = [], []
             for link in sent:
                 try:
+                    # repro: allow[C204] draining replies under _rpc_lock IS the frame-interleaving discipline (PR 5); a dead worker unblocks via _degrade closing the socket
                     status, result = link.transport.recv()
                 except TransportError as error:
                     self._degrade(link, f"recv failed: {error}")
@@ -438,7 +440,10 @@ class ClusterCoordinator(ShardMergeMixin):
                 if status != OK:
                     failures.append(str(result))
                 else:
-                    answered.append((self._shard_ids[link.shard], result))
+                    # Copy the ids: the merge walks them after the lock
+                    # is gone, and a concurrent add() extends in place.
+                    answered.append((list(self._shard_ids[link.shard]),
+                                     result))
         if failures:
             raise RemoteCallError("cluster worker failed:\n"
                                   + "\n".join(failures))
@@ -506,6 +511,7 @@ class ClusterCoordinator(ShardMergeMixin):
                 errors = []
                 for link in sent:
                     try:
+                        # repro: allow[C204] add replies must drain under _rpc_lock so no other RPC interleaves frames mid-commit
                         status, result = link.transport.recv()
                     except TransportError as error:
                         self._degrade(link, f"recv failed: {error}")
@@ -515,7 +521,12 @@ class ClusterCoordinator(ShardMergeMixin):
                         errors.append(str(result))
                         continue
                     _points, ids = chunks.pop(link.shard)
+                    # Commit the ids AND the size together, still under
+                    # _rpc_lock: a concurrent stats() snapshot must always
+                    # see sum(shard_sizes) == size, even between requeue
+                    # rounds of a partially failed add.
                     self._shard_ids[link.shard].extend(ids)
+                    self._size += len(ids)
             if errors:
                 # A worker *executed* add and reported failure: shards now
                 # disagree about the database. Refuse further use rather
@@ -539,7 +550,6 @@ class ClusterCoordinator(ShardMergeMixin):
                     requeued[shard][1].append(global_id)
                 chunks = {shard: chunk for shard, chunk in requeued.items()
                           if chunk[1]}
-        self._size += len(batch)
         return self
 
     # ``pairwise``/``knn``/``__len__`` come from ShardMergeMixin.
@@ -558,6 +568,7 @@ class ClusterCoordinator(ShardMergeMixin):
                     if not link.alive:
                         continue
                     try:
+                        # repro: allow[C204] per-worker stats RPC must hold _rpc_lock to keep frames paired; bounded by the worker answering or _degrade
                         per_worker[link.shard] = request(
                             link.transport, "stats",
                             who=f"cluster worker {link.label}")
@@ -565,12 +576,15 @@ class ClusterCoordinator(ShardMergeMixin):
                         self._degrade(link, f"stats failed: {error}")
                     except RemoteCallError:
                         pass
+        with self._rpc_lock:  # one atomic snapshot of the bookkeeping
+            shard_sizes = [len(ids) for ids in self._shard_ids]
+            size = self._size
         shards = []
         for link in self._links:
             entry: Dict = {
                 "shard": link.shard,
                 "address": link.label,
-                "size": len(self._shard_ids[link.shard]),
+                "size": shard_sizes[link.shard],
                 "alive": link.alive,
             }
             if not link.alive:
@@ -584,11 +598,11 @@ class ClusterCoordinator(ShardMergeMixin):
             "backend": self.backend.name,
             "kind": self.backend.kind,
             "index": self.index_name or "scan",
-            "size": self._size,
+            "size": size,
             "workers": len(self._links),
             "alive_workers": sum(1 for link in self._links if link.alive),
             "degraded": self.degraded_shards,
-            "shard_sizes": self.shard_sizes,
+            "shard_sizes": shard_sizes,
             "shards": shards,
             "cache": merge_cache_counters(
                 [entry["cache"] for entry in shards if "cache" in entry]),

@@ -315,7 +315,8 @@ class SimilarityServer(ThreadedNodeServer):
                 info = dict(stats())
             else:
                 info = {"type": type(service).__name__}
-            info["requests"] = self._request_count
+            with self._count_lock:  # atomic with the handler increment
+                info["requests"] = self._request_count
             return info
 
         # A QueryQueue only answers knn/pairwise through its flush thread;
@@ -362,8 +363,10 @@ class SimilarityServer(ThreadedNodeServer):
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else "listening"
+        with self._count_lock:
+            count = self._request_count
         return (f"SimilarityServer({self.host}:{self.port}, {state}, "
-                f"requests={self._request_count})")
+                f"requests={count})")
 
 
 # ----------------------------------------------------------------------
@@ -401,6 +404,7 @@ class RemoteSimilarityClient:
         with self._lock:
             if self._closed:
                 raise RuntimeError("client is closed")
+            # repro: allow[C204] the blocking client serializes whole call/response pairs under _lock by design; AsyncSimilarityClient is the non-blocking alternative
             return request(self._transport, command, payload,
                            who=f"similarity server {self.address[0]}:"
                                f"{self.address[1]}")
@@ -456,7 +460,7 @@ class RemoteSimilarityClient:
             try:
                 self._transport.send(("stop", None))
                 if self._transport.poll(1.0):
-                    self._transport.recv()
+                    self._transport.recv()  # repro: allow[C204] close-time farewell read, bounded by the poll(1.0) above
             except TransportError:
                 pass
             self._transport.close()

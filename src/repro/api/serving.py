@@ -369,6 +369,11 @@ class ShardedSimilarityService(ShardMergeMixin):
         # owns the query path) must never interleave frames with an RPC
         # another thread has in flight.
         self._rpc_lock = threading.Lock()
+        # Guards the id bookkeeping (_shard_ids/_size) against torn reads:
+        # a stats() probe from a server handler thread must never observe
+        # an add() half-committed (shard_sizes summing to something other
+        # than size). Never held across an RPC.
+        self._state_lock = threading.Lock()
 
         meta, arrays = backend_state(backend)  # process-portable form
         if start_method is None:
@@ -410,6 +415,7 @@ class ShardedSimilarityService(ShardMergeMixin):
             raise RuntimeError("service is closed")
         try:
             with self._rpc_lock:
+                # repro: allow[C204] the shard fan-out must own the pipes end-to-end: _rpc_lock exists precisely to keep concurrent RPCs from interleaving frames
                 return broadcast(self._transports, command, payloads,
                                  who="shard worker")
         except TransportError as error:
@@ -418,7 +424,9 @@ class ShardedSimilarityService(ShardMergeMixin):
     def _shard_query(self, command, payload):
         """The :class:`ShardMergeMixin` hook: same payload to every shard."""
         replies = self._broadcast(command, [payload] * self.num_workers)
-        return list(zip(self._shard_ids, replies))
+        with self._state_lock:  # ids snapshot consistent with the replies
+            shard_ids = [list(ids) for ids in self._shard_ids]
+        return list(zip(shard_ids, replies))
 
     # ------------------------------------------------------------------
     # Database
@@ -443,16 +451,20 @@ class ShardedSimilarityService(ShardMergeMixin):
             # further use rather than misattribute neighbour ids.
             self.close()
             raise
-        # Commit the id bookkeeping only once every shard stored its chunk.
-        for shard, ids in enumerate(pending):
-            self._shard_ids[shard].extend(ids)
-        self._size += len(batch)
+        # Commit the id bookkeeping only once every shard stored its
+        # chunk — atomically, so a concurrent stats()/shard_sizes reader
+        # never observes the extend without the size bump.
+        with self._state_lock:
+            for shard, ids in enumerate(pending):
+                self._shard_ids[shard].extend(ids)
+            self._size += len(batch)
         return self
 
     @property
     def shard_sizes(self) -> List[int]:
         """Number of database trajectories held by each worker."""
-        return [len(ids) for ids in self._shard_ids]
+        with self._state_lock:
+            return [len(ids) for ids in self._shard_ids]
 
     def stats(self) -> Dict:
         """Serving metadata on the shared key set: backend/index/size plus
@@ -464,10 +476,12 @@ class ShardedSimilarityService(ShardMergeMixin):
                                               [None] * self.num_workers)
             except (RuntimeError, RemoteCallError):
                 pass  # stats must stay answerable beside a dying worker
+        with self._state_lock:  # one atomic snapshot of the bookkeeping
+            shard_sizes = [len(ids) for ids in self._shard_ids]
+            size = self._size
         shards = []
         for shard, worker in enumerate(shard_stats):
-            entry: Dict = {"shard": shard,
-                           "size": len(self._shard_ids[shard])}
+            entry: Dict = {"shard": shard, "size": shard_sizes[shard]}
             if worker is not None and "cache" in worker:
                 entry["cache"] = worker["cache"]
             shards.append(entry)
@@ -476,9 +490,9 @@ class ShardedSimilarityService(ShardMergeMixin):
             "backend": self.backend.name,
             "kind": self.backend.kind,
             "index": self.index_name or "scan",
-            "size": self._size,
+            "size": size,
             "workers": self.num_workers,
-            "shard_sizes": self.shard_sizes,
+            "shard_sizes": shard_sizes,
             "shards": shards,
             "cache": merge_cache_counters(
                 [entry["cache"] for entry in shards if "cache" in entry]),

@@ -862,6 +862,11 @@ def _add_encode_args(p: argparse.ArgumentParser) -> None:
                         "~2x throughput, ~1e-5 relative parity)")
 
 
+def cmd_lint(args) -> int:
+    from .analysis.lint_cli import cmd_lint as run_lint
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1124,6 +1129,13 @@ def build_parser() -> argparse.ArgumentParser:
                                     "scenario (e.g. benchmarks/results/"
                                     "BENCH_serving.json)")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser("lint",
+                       help="concurrency-aware static analysis over the "
+                            "codebase (see repro.analysis)")
+    from .analysis.lint_cli import add_lint_arguments
+    add_lint_arguments(p)
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

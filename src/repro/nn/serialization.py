@@ -23,6 +23,7 @@ def save_state(path: str, module_or_state) -> None:
         state = dict(module_or_state)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
+    # repro: allow[R306] raw parameter-name -> array container; the schema IS the parameter names, versioned by the model code that owns them
     np.savez_compressed(path, **state)
 
 

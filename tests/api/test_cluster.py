@@ -345,3 +345,39 @@ class TestComposition:
                 stop.set()
                 thread.join(timeout=30)
             assert not errors
+
+
+class TestStatsLockScope:
+    """Regression tests for the unlocked _size commit that `repro lint`
+    (C202) flagged: the coordinator's add() bumped _size outside the RPC
+    lock that guards the _shard_ids commits, so a concurrent stats()
+    could see the extends without the size bump (or a torn pair)."""
+
+    def test_stats_bookkeeping_is_atomic_during_adds(self, workers,
+                                                     trajectories):
+        with make_cluster(workers) as cluster:
+            cluster.add(trajectories[:2])
+            errors = []
+            stop = threading.Event()
+
+            def probe():
+                try:
+                    while not stop.is_set():
+                        stats = cluster.stats()
+                        assert sum(stats["shard_sizes"]) == stats["size"], \
+                            (stats["shard_sizes"], stats["size"])
+                except Exception as error:  # surfaced below
+                    errors.append(error)
+
+            thread = threading.Thread(target=probe, daemon=True)
+            thread.start()
+            try:
+                for i in range(20):
+                    cluster.add([trajectories[i % len(trajectories)]])
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+            assert not errors, errors
+            final = cluster.stats()
+            assert final["size"] == 2 + 20
+            assert sum(final["shard_sizes"]) == final["size"]

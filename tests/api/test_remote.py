@@ -484,3 +484,35 @@ class TestSeededTrajclParity:
         for row, (row_d, row_i) in enumerate(queued):
             assert local_d[row].tobytes() == row_d.tobytes()
             assert local_i[row].tobytes() == row_i.tobytes()
+
+
+class TestRequestCounterLockScope:
+    """Regression test for the unlocked _request_count read that the
+    lint sweep surfaced: handle_stats (and __repr__) read the counter
+    without _count_lock while handler threads increment under it."""
+
+    def test_request_count_is_exact_after_concurrent_traffic(
+            self, server, trajectories):
+        per_client = 10
+        errors = []
+
+        def hammer():
+            try:
+                with RemoteSimilarityClient(*server.address) as cli:
+                    for _ in range(per_client):
+                        cli.knn(trajectories[0], k=2)
+            except Exception as error:  # surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, daemon=True)
+                   for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        with RemoteSimilarityClient(*server.address) as cli:
+            stats = cli.stats()
+        # every knn plus the stats probe itself, counted exactly once
+        assert stats["requests"] == 3 * per_client + 1
+        assert f"requests={3 * per_client + 1}" in repr(server)

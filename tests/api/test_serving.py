@@ -519,3 +519,44 @@ class TestUnifiedStats:
             stop.set()
             thread.join(timeout=30)
         assert not errors
+
+
+class TestStatsLockScope:
+    """Regression tests for the unlocked id-bookkeeping commit that
+    `repro lint` (C202) flagged: add() used to extend _shard_ids and bump
+    _size outside any lock, so a concurrent stats() probe could observe
+    shard_sizes summing to something other than size."""
+
+    def test_stats_never_observes_a_half_committed_add(self, trajectories):
+        with ShardedSimilarityService(backend=get_backend("hausdorff"),
+                                      num_workers=3) as service:
+            service.add(trajectories[:3])
+            errors = []
+            stop = threading.Event()
+
+            def probe():
+                try:
+                    while not stop.is_set():
+                        stats = service.stats()
+                        assert sum(stats["shard_sizes"]) == stats["size"], \
+                            (stats["shard_sizes"], stats["size"])
+                except Exception as error:  # surfaced below
+                    errors.append(error)
+
+            thread = threading.Thread(target=probe, daemon=True)
+            thread.start()
+            try:
+                for i in range(25):
+                    service.add([trajectories[i % len(trajectories)]])
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+            assert not errors, errors
+            final = service.stats()
+            assert final["size"] == 3 + 25
+            assert sum(final["shard_sizes"]) == final["size"]
+
+    def test_shard_sizes_snapshot_is_atomic(self, sharded_service,
+                                            trajectories):
+        sizes = sharded_service.shard_sizes
+        assert sum(sizes) == len(trajectories)

@@ -1,0 +1,16 @@
+"""Repo-wide test hooks.
+
+Setting ``REPRO_LOCK_SANITIZER=1`` (the ``make test-all`` slow lane and
+CI do) patches ``threading.Lock``/``RLock`` with the order-checking
+wrappers from :mod:`repro.analysis.sanitizer` *before* any test imports
+the serving stack, so every lock the stack creates is instrumented and
+an ABBA inversion anywhere in the suite raises ``LockOrderError``
+instead of deadlocking.
+"""
+
+import os
+
+if os.environ.get("REPRO_LOCK_SANITIZER"):
+    from repro.analysis import install_from_env
+
+    install_from_env()
