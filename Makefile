@@ -57,10 +57,13 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 # Serving-layer throughput sweep (queries/sec plus p50/p95/p99 latency:
-# in-process at 1/2/4 workers, remote, asyncio, cluster and HTTP
-# clients) merged scenario-by-scenario into the perf-trajectory record.
+# in-process at 1/2/4 workers, remote, asyncio, cluster, HTTP clients
+# and the 50k-trajectory large_db scenario where sharding must win)
+# merged scenario-by-scenario into the perf-trajectory record.
 serve-bench:
-	$(PYTHON) -m repro serve-bench --output benchmarks/results/BENCH_serving.json
+	$(PYTHON) -m repro serve-bench \
+		--scenarios in_process,remote,async,cluster,http,large_db \
+		--output benchmarks/results/BENCH_serving.json
 
 # Encode-throughput sweep (traj/sec: fused inference engine in
 # float64/float32 vs the reference Tensor path, by batch size), merged

@@ -14,7 +14,16 @@ import os
 import sys
 import tempfile
 
-from smoke_common import TIMEOUT, fail, popen, run, terminate, wait_for_ready
+from smoke_common import (
+    TIMEOUT,
+    assert_no_shm_litter,
+    fail,
+    popen,
+    run,
+    shm_segments,
+    terminate,
+    wait_for_ready,
+)
 
 N_WORKERS = 2
 
@@ -27,6 +36,7 @@ def neighbour_rows(text):
 
 def main() -> int:
     python = sys.executable
+    shm_baseline = shm_segments()
 
     with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as tmp:
         data = os.path.join(tmp, "city.npz")
@@ -104,6 +114,10 @@ def main() -> int:
                 terminate(front)
             for proc in worker_procs:
                 terminate(proc)
+    try:
+        assert_no_shm_litter(shm_baseline, "cluster-smoke")
+    except RuntimeError as error:
+        return fail(str(error))
     print("cluster-smoke: OK")
     return 0
 

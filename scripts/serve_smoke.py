@@ -11,11 +11,21 @@ import os
 import sys
 import tempfile
 
-from smoke_common import TIMEOUT, fail, popen, run, terminate, wait_for_ready
+from smoke_common import (
+    TIMEOUT,
+    assert_no_shm_litter,
+    fail,
+    popen,
+    run,
+    shm_segments,
+    terminate,
+    wait_for_ready,
+)
 
 
 def main() -> int:
     python = sys.executable
+    shm_baseline = shm_segments()
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         data = os.path.join(tmp, "city.npz")
@@ -53,6 +63,10 @@ def main() -> int:
                 return fail(f"serve-smoke: server exited {server.returncode}")
         finally:
             terminate(server)
+    try:
+        assert_no_shm_litter(shm_baseline, "serve-smoke")
+    except RuntimeError as error:
+        return fail(str(error))
     print("serve-smoke: OK")
     return 0
 

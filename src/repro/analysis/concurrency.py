@@ -58,7 +58,8 @@ _BLOCKING_METHODS = {
     "readexactly", "read_reply", "select", "sleep",
 }
 #: module-level helpers in repro.api.transport that block on the socket
-_BLOCKING_FUNCTIONS = {"request", "broadcast", "read_reply"}
+_BLOCKING_FUNCTIONS = {"request", "broadcast", "broadcast_encoded",
+                       "drain_replies", "read_reply"}
 #: ``.get`` / ``.join`` only block when the receiver looks like one of these
 _QUEUE_LIKE = re.compile(r"(queue|pending|_q$|_q\.)", re.IGNORECASE)
 _THREAD_LIKE = re.compile(r"(thread|worker|proc|_t$)", re.IGNORECASE)

@@ -1,4 +1,4 @@
-"""Repo-invariant rules: R301–R306.
+"""Repo-invariant rules: R301–R307.
 
 These encode decisions this codebase has already made, so drift is
 caught at lint time instead of in review:
@@ -16,18 +16,26 @@ caught at lint time instead of in review:
   (PR 4) made embedding dtype part of the contract.
 * **R306** — every ``.npz`` artifact writer stamps ``format_version``
   so snapshots stay loadable across releases.
+* **R307** — numpy arrays cross the wire as ``dtype + shape + raw
+  buffer`` (see ``repro.api.wire``); ``pickle.dumps`` of an array-like
+  value re-introduces the serialization tax the binary codec removed.
+  Unlike R301 this fires *everywhere*, including ``transport.py`` — the
+  only exempt spots are functions whose name says ``fallback``, the
+  codec's audited escape hatch for objects the tag vocabulary cannot
+  express.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable, List, Optional
 
 from .core import Checker, FileContext, Finding, Rule, register_checker
 
 __all__ = [
     "RULE_R301", "RULE_R302", "RULE_R303",
-    "RULE_R304", "RULE_R305", "RULE_R306",
+    "RULE_R304", "RULE_R305", "RULE_R306", "RULE_R307",
 ]
 
 RULE_R301 = Rule(
@@ -65,9 +73,21 @@ RULE_R306 = Rule(
     "include format_version in the saved mapping so the artifact can be "
     "validated on load",
 )
+RULE_R307 = Rule(
+    "R307", "warning",
+    "pickle.dumps of a numpy array outside the wire fallback path",
+    "encode arrays through repro.api.wire (typed tag + dtype + shape + "
+    "raw buffer); the pickle fallback exists only for objects the codec "
+    "cannot express, inside functions named *fallback*",
+)
 
 #: modules where pickle use is by design
 _PICKLE_ALLOWED_MODULES = {"transport"}
+#: identifier fragments that mark a value as (probably) a numpy array
+_ARRAY_LIKE = re.compile(
+    r"(arr|array|ndarray|emb|matrix|vector|distanc|tensor)",
+    re.IGNORECASE,
+)
 #: modules that legitimately compare backend/index names
 _DISPATCH_ALLOWED_MODULES = {"registry", "backends", "indexes", "service"}
 #: registered similarity backends + index kinds (see repro.api.registry)
@@ -266,6 +286,55 @@ class EmbeddingDtypeChecker(Checker):
                         f"the embedding dtype contract",
                     ))
         return findings
+
+
+@register_checker
+class ArrayPickleChecker(Checker):
+    """R307 — arrays serialized with pickle instead of the wire codec.
+
+    R301 draws the module boundary (pickle only in ``transport.py``);
+    R307 polices *what* gets pickled inside it: an ndarray through
+    ``pickle.dumps`` pays header-parsing and copy costs the typed codec
+    was built to remove, so even the allowed module must route arrays
+    through ``repro.api.wire`` and keep pickle to the ``*fallback*``
+    escape hatch.
+    """
+
+    rules = (RULE_R307,)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain not in {"pickle.dumps", "pickle.dump"}:
+                continue
+            if not node.args or not self._array_like(node.args[0]):
+                continue
+            scope = ctx.enclosing(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if scope is not None and "fallback" in scope.name.lower():
+                continue  # the codec's audited escape hatch
+            findings.append(ctx.finding(
+                RULE_R307, node,
+                f"{chain}(...) of an array-like value; the wire codec "
+                f"sends arrays as dtype+shape+buffer — pickle belongs "
+                f"only in the fallback path",
+            ))
+        return findings
+
+    @staticmethod
+    def _array_like(arg: ast.AST) -> bool:
+        if isinstance(arg, (ast.Name, ast.Attribute)):
+            return bool(_ARRAY_LIKE.search(_attr_chain(arg)))
+        if isinstance(arg, ast.Call):
+            chain = _attr_chain(arg.func)
+            return (
+                chain.startswith(("np.", "numpy."))
+                or bool(_ARRAY_LIKE.search(chain))
+            )
+        return False
 
 
 @register_checker

@@ -62,14 +62,22 @@ from .protocols import SimilarityBackend, as_backend
 from .registry import get_backend
 from .remote import ThreadedNodeServer, install_signal_shutdown, parse_address
 from .service import SimilarityService, _default_index_for
-from .serving import ShardMergeMixin, _as_batch, merge_cache_counters
+from .serving import (
+    ShardMergeMixin,
+    _as_batch,
+    freeze_shard_ids,
+    merge_cache_counters,
+)
 from .transport import (
     OK,
     RemoteCallError,
     SocketTransport,
     TransportClosed,
     TransportError,
+    encode_payload,
+    merge_transport_stats,
     request,
+    resolve_wire_format,
 )
 
 __all__ = ["ShardWorker", "ClusterCoordinator", "run_worker",
@@ -104,10 +112,10 @@ class ShardWorker(ThreadedNodeServer):
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 backlog: int = 16):
+                 backlog: int = 16, wire_format: Optional[str] = None):
         self._lock = threading.Lock()
         self._service: Optional[SimilarityService] = None
-        super().__init__(host, port, backlog=backlog)
+        super().__init__(host, port, backlog=backlog, wire_format=wire_format)
 
     def _thread_name(self) -> str:
         return f"repro-shard-worker:{self.address[1]}"
@@ -218,9 +226,10 @@ class ShardWorker(ThreadedNodeServer):
 
 
 def run_worker(host: str = "127.0.0.1", port: int = 0,
-               ready_file: Optional[str] = None) -> int:
+               ready_file: Optional[str] = None,
+               wire_format: Optional[str] = None) -> int:
     """Boot a :class:`ShardWorker` and serve until shutdown (the CLI body)."""
-    worker = ShardWorker(host, port)
+    worker = ShardWorker(host, port, wire_format=wire_format)
     # SIGTERM runs the same graceful shutdown as Ctrl-C / a coordinator's
     # shutdown command, so launcher teardown never needs terminate→kill.
     install_signal_shutdown(worker.shutdown)
@@ -303,6 +312,7 @@ class ClusterCoordinator(ShardMergeMixin):
         connect_retries: int = 5,
         retry_wait: float = 0.1,
         shutdown_workers_on_close: bool = False,
+        wire_format: Optional[str] = None,
     ):
         addresses = [parse_address(worker) for worker in workers]
         if not addresses:
@@ -326,8 +336,12 @@ class ClusterCoordinator(ShardMergeMixin):
         self._cache_size = int(cache_size)
         self.heartbeat_interval = float(heartbeat_interval or 0.0)
         self.heartbeat_timeout = float(heartbeat_timeout)
+        self._wire_format = resolve_wire_format(wire_format)
         self.shutdown_workers_on_close = bool(shutdown_workers_on_close)
         self._shard_ids: List[List[int]] = [[] for _ in addresses]
+        # Per-shard id arrays the query path reads; refreshed on add.
+        self._shard_id_arrays: List[np.ndarray] = [
+            freeze_shard_ids(()) for _ in addresses]
         self._size = 0
         self._closed = False
         self._stop = threading.Event()
@@ -351,10 +365,10 @@ class ClusterCoordinator(ShardMergeMixin):
             for link in self._links:
                 link.transport = SocketTransport.connect(
                     *link.address, retries=connect_retries,
-                    retry_wait=retry_wait)
+                    retry_wait=retry_wait, wire_format=self._wire_format)
                 link.heartbeat = SocketTransport.connect(
                     *link.address, retries=connect_retries,
-                    retry_wait=retry_wait)
+                    retry_wait=retry_wait, wire_format=self._wire_format)
                 request(link.transport, "join", join_payload,
                         who=f"cluster worker {link.label}")
                 link.alive = True
@@ -421,11 +435,14 @@ class ClusterCoordinator(ShardMergeMixin):
         """
         if self._closed:
             raise RuntimeError("coordinator is closed")
+        # Every worker gets the same request: serialize it once and write
+        # the same bytes to each socket instead of re-encoding per link.
+        encoded = encode_payload((command, payload), self._wire_format)
         with self._rpc_lock:
             sent = []
             for link in self._alive_links():
                 try:
-                    link.transport.send((command, payload))
+                    link.transport.send_encoded(encoded)
                     sent.append(link)
                 except TransportError as error:
                     self._degrade(link, f"send failed: {error}")
@@ -440,9 +457,10 @@ class ClusterCoordinator(ShardMergeMixin):
                 if status != OK:
                     failures.append(str(result))
                 else:
-                    # Copy the ids: the merge walks them after the lock
-                    # is gone, and a concurrent add() extends in place.
-                    answered.append((list(self._shard_ids[link.shard]),
+                    # The id array is immutable (add() replaces it, never
+                    # extends in place), so the merge can walk this
+                    # reference after the lock is gone.
+                    answered.append((self._shard_id_arrays[link.shard],
                                      result))
         if failures:
             raise RemoteCallError("cluster worker failed:\n"
@@ -526,6 +544,8 @@ class ClusterCoordinator(ShardMergeMixin):
                     # see sum(shard_sizes) == size, even between requeue
                     # rounds of a partially failed add.
                     self._shard_ids[link.shard].extend(ids)
+                    self._shard_id_arrays[link.shard] = freeze_shard_ids(
+                        self._shard_ids[link.shard])
                     self._size += len(ids)
             if errors:
                 # A worker *executed* add and reported failure: shards now
@@ -579,6 +599,9 @@ class ClusterCoordinator(ShardMergeMixin):
         with self._rpc_lock:  # one atomic snapshot of the bookkeeping
             shard_sizes = [len(ids) for ids in self._shard_ids]
             size = self._size
+            transport_stats = merge_transport_stats(
+                [link.transport.stats() for link in self._links
+                 if link.alive and link.transport is not None])
         shards = []
         for link in self._links:
             entry: Dict = {
@@ -604,6 +627,8 @@ class ClusterCoordinator(ShardMergeMixin):
             "degraded": self.degraded_shards,
             "shard_sizes": shard_sizes,
             "shards": shards,
+            "wire_format": self._wire_format,
+            "transport": transport_stats,
             "cache": merge_cache_counters(
                 [entry["cache"] for entry in shards if "cache" in entry]),
         }

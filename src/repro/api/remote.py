@@ -47,6 +47,7 @@ from .transport import (
     encode_frame,
     decode_payload,
     frame_length,
+    merge_transport_stats,
     FRAME_HEADER,
     request,
 )
@@ -115,9 +116,10 @@ class ThreadedNodeServer:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 backlog: int = 32):
+                 backlog: int = 32, wire_format: Optional[str] = None):
         # The flag exists before the accept thread does, so close() can
         # never race a half-built server.
+        self._wire_format = wire_format
         self._shutdown = threading.Event()
         self._connections: List[SocketTransport] = []
         self._connection_threads: List[threading.Thread] = []
@@ -170,7 +172,7 @@ class ThreadedNodeServer:
             ]
             self._connections = [transport for transport, _ in alive]
             self._connection_threads = [thread for _, thread in alive]
-            transport = SocketTransport(sock)
+            transport = SocketTransport(sock, wire_format=self._wire_format)
             thread = threading.Thread(target=self._serve_connection,
                                       args=(transport,), daemon=True)
             self._connections.append(transport)
@@ -183,6 +185,11 @@ class ThreadedNodeServer:
             node.serve_forever()
         finally:
             transport.close()
+
+    def transport_stats(self) -> Dict:
+        """Aggregate wire counters over the current connections."""
+        return merge_transport_stats(
+            [transport.stats() for transport in list(self._connections)])
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -251,13 +258,15 @@ class SimilarityServer(ThreadedNodeServer):
         *,
         backlog: int = 32,
         max_requests: Optional[int] = None,
+        wire_format: Optional[str] = None,
     ):
         self.service = service
         self._lock = threading.Lock()
         self._count_lock = threading.Lock()
         self._request_count = 0
         self._max_requests = max_requests
-        super().__init__(host, port, backlog=backlog)
+        super().__init__(host, port, backlog=backlog,
+                         wire_format=wire_format)
 
     def _thread_name(self) -> str:
         return f"repro-similarity-server:{self.address[1]}"
@@ -315,6 +324,7 @@ class SimilarityServer(ThreadedNodeServer):
                 info = dict(stats())
             else:
                 info = {"type": type(service).__name__}
+            info["server_transport"] = self.transport_stats()
             with self._count_lock:  # atomic with the handler increment
                 info["requests"] = self._request_count
             return info
@@ -388,7 +398,8 @@ class RemoteSimilarityClient:
     def __init__(self, address: Union[str, Tuple[str, int]],
                  port: Optional[int] = None, *,
                  timeout: Optional[float] = None,
-                 connect_retries: int = 3, retry_wait: float = 0.1):
+                 connect_retries: int = 3, retry_wait: float = 0.1,
+                 wire_format: Optional[str] = None):
         self.address = parse_address(address, port)
         self._lock = threading.Lock()
         # Bounded connect retry with backoff: a client launched alongside
@@ -397,8 +408,13 @@ class RemoteSimilarityClient:
         self._transport = SocketTransport.connect(*self.address,
                                                   timeout=timeout,
                                                   retries=connect_retries,
-                                                  retry_wait=retry_wait)
+                                                  retry_wait=retry_wait,
+                                                  wire_format=wire_format)
         self._closed = False
+
+    def transport_stats(self) -> Dict:
+        """This client's wire counters (bytes/frames sent and received)."""
+        return self._transport.stats()
 
     def _call(self, command: str, payload=None):
         with self._lock:
@@ -496,21 +512,25 @@ class AsyncSimilarityClient:
     them); open several clients for true fan-out.
     """
 
-    def __init__(self, reader, writer, address: Tuple[str, int]):
+    def __init__(self, reader, writer, address: Tuple[str, int], *,
+                 wire_format: Optional[str] = None):
         self._reader = reader
         self._writer = writer
         self.address = address
+        self._wire_format = wire_format
         self._lock = None  # created lazily on the running loop
         self._closed = False
 
     @classmethod
     async def connect(cls, address: Union[str, Tuple[str, int]],
-                      port: Optional[int] = None) -> "AsyncSimilarityClient":
+                      port: Optional[int] = None, *,
+                      wire_format: Optional[str] = None,
+                      ) -> "AsyncSimilarityClient":
         import asyncio
 
         host, port = parse_address(address, port)
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, (host, port))
+        return cls(reader, writer, (host, port), wire_format=wire_format)
 
     async def _call(self, command: str, payload=None):
         import asyncio
@@ -520,7 +540,8 @@ class AsyncSimilarityClient:
         if self._lock is None:
             self._lock = asyncio.Lock()
         async with self._lock:
-            self._writer.write(encode_frame((command, payload)))
+            self._writer.write(
+                encode_frame((command, payload), self._wire_format))
             await self._writer.drain()
             header = await self._reader.readexactly(FRAME_HEADER.size)
             body = await self._reader.readexactly(frame_length(header))
@@ -570,7 +591,8 @@ class AsyncSimilarityClient:
             return
         self._closed = True
         try:
-            self._writer.write(encode_frame(("stop", None)))
+            self._writer.write(encode_frame(("stop", None),
+                                            self._wire_format))
             await self._writer.drain()
         except (ConnectionError, OSError):
             pass

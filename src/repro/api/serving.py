@@ -51,13 +51,19 @@ from .backends import backend_state, restore_backend
 from .protocols import KnnService, SimilarityBackend, as_backend
 from .registry import get_backend
 from .service import SimilarityService, _default_index_for
+from . import wire
 from .transport import (
+    WIRE_FORMAT_PICKLE,
     PipeTransport,
     RemoteCallError,
     ServiceNode,
     TransportError,
     broadcast,
+    broadcast_encoded,
+    encode_payload,
+    merge_transport_stats,
     read_reply,
+    resolve_wire_format,
 )
 
 #: one batch-normalization rule shared with the single-process service —
@@ -95,6 +101,20 @@ def merge_cache_counters(counters: Sequence[Dict]) -> Dict:
         for key in total:
             total[key] += int(info.get(key, 0))
     return total
+
+
+def freeze_shard_ids(ids: Sequence[int]) -> np.ndarray:
+    """Immutable int64 snapshot of one shard's global-id list.
+
+    Rebuilt once per ``add`` so the per-query merge hands
+    :meth:`ShardMergeMixin._fetch_candidates` a ready array instead of
+    copying and re-converting an O(shard-size) Python list on every
+    query — at 25k ids per shard that conversion alone costs more than
+    the shard's own scan.
+    """
+    array = np.asarray(ids, dtype=np.int64)
+    array.flags.writeable = False
+    return array
 
 
 # ----------------------------------------------------------------------
@@ -142,7 +162,12 @@ def _shard_worker(transport, backend_meta, backend_arrays, index,
         "len": lambda _payload: len(service),
         "stats": lambda _payload: service.stats(),
     })
-    node.serve_forever()
+    try:
+        node.serve_forever()
+    finally:
+        # unlinks any shared-memory segments the last reply parked in
+        # /dev/shm — the parent has decoded them by the time it stops us
+        transport.close()
 
 
 # ----------------------------------------------------------------------
@@ -339,6 +364,8 @@ class ShardedSimilarityService(ShardMergeMixin):
         batch_size: int = 256,
         cache_size: int = 4096,
         start_method: Optional[str] = None,
+        wire_format: Optional[str] = None,
+        shm_threshold: Optional[int] = wire.DEFAULT_SHM_THRESHOLD,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -362,6 +389,9 @@ class ShardedSimilarityService(ShardMergeMixin):
         self._exact_shards = index != "ivf"
         self.num_workers = int(num_workers)
         self._shard_ids: List[List[int]] = [[] for _ in range(self.num_workers)]
+        # Per-shard id arrays the query path reads; refreshed on add.
+        self._shard_id_arrays: List[np.ndarray] = [
+            freeze_shard_ids(()) for _ in range(self.num_workers)]
         self._size = 0
         self._closed = False
         # Serializes every exchange on the worker pipes: a stats() probe
@@ -374,6 +404,17 @@ class ShardedSimilarityService(ShardMergeMixin):
         # an add() half-committed (shard_sizes summing to something other
         # than size). Never held across an RPC.
         self._state_lock = threading.Lock()
+        self._wire_format = resolve_wire_format(wire_format)
+        # Shared memory only exists in the binary format's vocabulary;
+        # forced-pickle mode (old-peer interop) keeps arrays in-band.
+        if self._wire_format == WIRE_FORMAT_PICKLE:
+            shm_threshold = None
+        self._shm_threshold = shm_threshold
+        # Fan-out requests are encoded once through this pool (large
+        # query matrices go out-of-band via /dev/shm); per-transport
+        # pools on the worker side do the same for replies.
+        self._shm_pool = (wire.ShmPool(shm_threshold)
+                          if shm_threshold is not None else None)
 
         meta, arrays = backend_state(backend)  # process-portable form
         if start_method is None:
@@ -384,7 +425,10 @@ class ShardedSimilarityService(ShardMergeMixin):
         self._processes = []
         service_kwargs = {"batch_size": batch_size, "cache_size": cache_size}
         for _ in range(self.num_workers):
-            parent_transport, child_transport = PipeTransport.pair(context)
+            parent_transport, child_transport = PipeTransport.pair(
+                context, wire_format=self._wire_format,
+                shm_threshold=shm_threshold,
+            )
             process = context.Process(
                 target=_shard_worker,
                 args=(child_transport, meta, arrays, index, index_kwargs,
@@ -421,11 +465,39 @@ class ShardedSimilarityService(ShardMergeMixin):
         except TransportError as error:
             raise RuntimeError(f"shard worker failed: {error}") from error
 
+    def _broadcast_shared(self, command, payload):
+        """Fan *one* payload out to every shard, serializing it once.
+
+        The encoded bytes are written to each pipe verbatim; with the
+        shared-memory pool attached, large arrays in the payload go
+        out-of-band and every worker attaches the same segment.  The
+        pool is released only after the reply drain — by then each
+        worker has provably decoded the request.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        try:
+            with self._rpc_lock:
+                try:
+                    encoded = encode_payload((command, payload),
+                                             self._wire_format,
+                                             self._shm_pool)
+                    # repro: allow[C204] the shard fan-out must own the pipes end-to-end: _rpc_lock exists precisely to keep concurrent RPCs from interleaving frames
+                    return broadcast_encoded(self._transports, encoded,
+                                             who="shard worker")
+                finally:
+                    if self._shm_pool is not None:
+                        self._shm_pool.release()
+        except TransportError as error:
+            raise RuntimeError(f"shard worker failed: {error}") from error
+
     def _shard_query(self, command, payload):
         """The :class:`ShardMergeMixin` hook: same payload to every shard."""
-        replies = self._broadcast(command, [payload] * self.num_workers)
+        replies = self._broadcast_shared(command, payload)
         with self._state_lock:  # ids snapshot consistent with the replies
-            shard_ids = [list(ids) for ids in self._shard_ids]
+            # The arrays are immutable (add() replaces, never extends
+            # them), so handing out references is a consistent snapshot.
+            shard_ids = list(self._shard_id_arrays)
         return list(zip(shard_ids, replies))
 
     # ------------------------------------------------------------------
@@ -456,7 +528,10 @@ class ShardedSimilarityService(ShardMergeMixin):
         # never observes the extend without the size bump.
         with self._state_lock:
             for shard, ids in enumerate(pending):
-                self._shard_ids[shard].extend(ids)
+                if ids:
+                    self._shard_ids[shard].extend(ids)
+                    self._shard_id_arrays[shard] = freeze_shard_ids(
+                        self._shard_ids[shard])
             self._size += len(batch)
         return self
 
@@ -472,8 +547,7 @@ class ShardedSimilarityService(ShardMergeMixin):
         shard_stats: List[Optional[Dict]] = [None] * self.num_workers
         if not self._closed:
             try:
-                shard_stats = self._broadcast("stats",
-                                              [None] * self.num_workers)
+                shard_stats = self._broadcast_shared("stats", None)
             except (RuntimeError, RemoteCallError):
                 pass  # stats must stay answerable beside a dying worker
         with self._state_lock:  # one atomic snapshot of the bookkeeping
@@ -485,6 +559,12 @@ class ShardedSimilarityService(ShardMergeMixin):
             if worker is not None and "cache" in worker:
                 entry["cache"] = worker["cache"]
             shards.append(entry)
+        transport_stats = merge_transport_stats(
+            [t.stats() for t in self._transports])
+        if self._shm_pool is not None:
+            # broadcast-side segments come from the service pool, not a
+            # per-transport one; fold them into the same counter
+            transport_stats["shm_hits"] += self._shm_pool.hits
         return {
             "type": type(self).__name__,
             "backend": self.backend.name,
@@ -494,6 +574,8 @@ class ShardedSimilarityService(ShardMergeMixin):
             "workers": self.num_workers,
             "shard_sizes": shard_sizes,
             "shards": shards,
+            "wire_format": self._wire_format,
+            "transport": transport_stats,
             "cache": merge_cache_counters(
                 [entry["cache"] for entry in shards if "cache" in entry]),
         }
@@ -525,6 +607,10 @@ class ShardedSimilarityService(ShardMergeMixin):
             except TransportError:
                 pass
             transport.close()
+        if self._shm_pool is not None:
+            # sweep whatever a failed fan-out left behind: no segment
+            # this service created may outlive it in /dev/shm
+            self._shm_pool.release()
         for process in self._processes:
             process.join(timeout=2.0)
             if process.is_alive():

@@ -2,21 +2,35 @@
 
 Every hop in the serving stack — parent process to shard worker, TCP
 client to :class:`~repro.api.remote.SimilarityServer`, asyncio caller to
-the same server — speaks one wire protocol: a *message* is any picklable
-object, a *frame* is an 8-byte big-endian length prefix followed by the
-pickle. The abstractions here keep the callers transport-oblivious:
+the same server — speaks one wire protocol: a *frame* is an 8-byte
+big-endian length prefix followed by a payload encoded by the typed
+binary codec in :mod:`repro.api.wire` (numpy buffers raw, pickle only as
+a tagged fallback for odd objects).  The payload's first byte carries
+the format version: :data:`wire.WIRE_VERSION` for the typed codec,
+``0x80`` (pickle's own ``PROTO`` opcode) for a legacy pickle peer —
+:func:`decode_payload` sniffs it, so mixed-version peers negotiate
+without a handshake and ``wire_format="pickle"`` can force the legacy
+encoding for interop tests.  The abstractions here keep the callers
+transport-oblivious:
 
 * :class:`Transport` — the ``send``/``recv``/``poll``/``close`` contract;
 * :class:`PipeTransport` — a :mod:`multiprocessing` pipe endpoint (the
-  pipe does its own framing; this adapter only normalizes errors);
+  pipe frames raw payload bytes; an optional shared-memory pool moves
+  large arrays out-of-band entirely);
 * :class:`SocketTransport` — the same messages as explicit frames over a
   TCP socket, shared byte-for-byte with the asyncio client;
 * :class:`ServiceNode` — the request/response loop a worker or server
   connection runs: receive ``(command, payload)``, dispatch to a handler,
   reply ``("ok", result)`` or ``("error", traceback)``;
-* :func:`request` / :func:`broadcast` — the matching caller side, with
-  the drain-every-reply-before-raising discipline that keeps a multi-peer
-  RPC in sync after a failure.
+* :func:`request` / :func:`broadcast` / :func:`broadcast_encoded` — the
+  matching caller side, with the drain-every-reply-before-raising
+  discipline that keeps a multi-peer RPC in sync after a failure;
+  :func:`broadcast_encoded` writes one pre-encoded payload to every
+  peer so a fan-out serializes the request exactly once.
+
+Every transport counts traffic (``bytes_sent``/``frames_sent``/
+``bytes_recv``/``frames_recv``, plus ``shm_hits`` when a pool is
+attached) and reports it via ``stats()``.
 
 :class:`~repro.api.serving.ShardedSimilarityService` and
 :class:`~repro.api.remote.SimilarityServer` are both thin layers over
@@ -25,9 +39,12 @@ these pieces; neither owns any framing or dispatch logic of its own.
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from . import wire
 
 __all__ = [
     "TransportError",
@@ -39,11 +56,19 @@ __all__ = [
     "SocketTransport",
     "ServiceNode",
     "encode_frame",
+    "encode_payload",
     "decode_payload",
     "request",
     "broadcast",
+    "broadcast_encoded",
+    "drain_replies",
+    "merge_transport_stats",
     "FRAME_HEADER",
     "MAX_FRAME_BYTES",
+    "WIRE_FORMAT_BINARY",
+    "WIRE_FORMAT_PICKLE",
+    "default_wire_format",
+    "resolve_wire_format",
 ]
 
 #: length prefix of a socket frame: 8-byte unsigned big-endian
@@ -52,6 +77,28 @@ FRAME_HEADER = struct.Struct(">Q")
 #: refuse frames larger than this (a garbage header must not trigger a
 #: multi-terabyte read; 1 GiB comfortably holds any real payload here)
 MAX_FRAME_BYTES = 1 << 30
+
+#: the typed binary codec in :mod:`repro.api.wire` (the default)
+WIRE_FORMAT_BINARY = "binary"
+#: the legacy pickle payload, for old peers and interop tests
+WIRE_FORMAT_PICKLE = "pickle"
+
+_WIRE_FORMATS = (WIRE_FORMAT_BINARY, WIRE_FORMAT_PICKLE)
+
+
+def default_wire_format() -> str:
+    """Session-wide default send format (``REPRO_WIRE_FORMAT`` env)."""
+    return os.environ.get("REPRO_WIRE_FORMAT", WIRE_FORMAT_BINARY)
+
+
+def resolve_wire_format(wire_format: Optional[str]) -> str:
+    """Normalize a ``wire_format`` argument (None means the default)."""
+    fmt = wire_format if wire_format is not None else default_wire_format()
+    if fmt not in _WIRE_FORMATS:
+        raise ValueError(
+            f"unknown wire_format {fmt!r}; expected one of {_WIRE_FORMATS}"
+        )
+    return fmt
 
 
 class TransportError(ConnectionError):
@@ -73,14 +120,50 @@ class RemoteCallError(RuntimeError):
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-def encode_frame(message) -> bytes:
-    """One wire frame: length prefix + pickled message."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+def encode_payload(
+    message,
+    wire_format: Optional[str] = None,
+    pool: Optional[wire.ShmPool] = None,
+) -> bytes:
+    """Encode one message into frame-payload bytes (no length prefix)."""
+    fmt = resolve_wire_format(wire_format)
+    if fmt == WIRE_FORMAT_PICKLE:
+        # protocol >= 2 guarantees the 0x80 PROTO first byte that
+        # decode_payload's version sniff relies on
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return wire.encode(message, pool)
+
+
+def encode_frame(
+    message,
+    wire_format: Optional[str] = None,
+    pool: Optional[wire.ShmPool] = None,
+) -> bytes:
+    """One wire frame: length prefix + encoded payload."""
+    payload = encode_payload(message, wire_format, pool)
     return FRAME_HEADER.pack(len(payload)) + payload
 
 
-def decode_payload(payload: bytes):
-    """Unpickle a frame payload, normalizing failures to :class:`FrameError`."""
+def decode_payload(payload):
+    """Decode a frame payload, normalizing failures to :class:`FrameError`.
+
+    The first payload byte selects the codec: :data:`wire.WIRE_VERSION`
+    is the typed binary format; anything else (``0x80`` from a pickle
+    protocol >= 2 peer, or the pre-2 opcodes of even older pickles) is
+    handed to pickle.  Malformed input of either kind surfaces as
+    :class:`FrameError`, never as a truncated ``np.frombuffer``.
+    """
+    if len(payload) == 0:
+        raise FrameError("empty frame payload")
+    first = payload[0] if isinstance(payload, (bytes, bytearray)) \
+        else memoryview(payload)[0]
+    if first == wire.WIRE_VERSION:
+        try:
+            return wire.decode(payload)
+        except wire.WireError as error:
+            raise FrameError(
+                f"frame payload does not decode: {error}"
+            ) from error
     try:
         return pickle.loads(payload)
     except Exception as error:
@@ -111,6 +194,10 @@ class Transport(Protocol):
         """Deliver one message to the peer."""
         ...
 
+    def send_encoded(self, payload: bytes) -> None:
+        """Deliver a message already encoded by :func:`encode_payload`."""
+        ...
+
     def recv(self):
         """Block for the peer's next message."""
         ...
@@ -124,44 +211,99 @@ class Transport(Protocol):
         ...
 
 
+def merge_transport_stats(stats_list: Sequence[Dict]) -> Dict:
+    """Sum per-transport ``stats()`` dicts into one fan-out aggregate."""
+    total = {
+        "bytes_sent": 0, "frames_sent": 0,
+        "bytes_recv": 0, "frames_recv": 0, "shm_hits": 0,
+    }
+    wire_formats = set()
+    for stats in stats_list:
+        wire_formats.add(stats.get("wire_format"))
+        for key in total:
+            total[key] += stats.get(key, 0)
+    if len(wire_formats) == 1:
+        total["wire_format"] = wire_formats.pop()
+    return total
+
+
 class PipeTransport:
     """A :mod:`multiprocessing` pipe endpoint as a :class:`Transport`.
 
-    The pipe's own pickling already frames messages; this adapter adds the
+    Messages cross the pipe as raw payload bytes (``send_bytes`` /
+    ``recv_bytes``) encoded by :func:`encode_payload`, so the pipe's own
+    pickling is out of the data path; the adapter also supplies the
     uniform error vocabulary (``EOFError``/``OSError`` become
-    :class:`TransportClosed`) so callers never special-case the medium.
-    Instances survive being passed as :class:`multiprocessing.Process`
-    arguments — the embedded connection uses the standard reduction.
+    :class:`TransportClosed`).  Instances survive being passed as
+    :class:`multiprocessing.Process` arguments — the embedded connection
+    uses the standard reduction, and the shared-memory pool (which owns
+    a lock) is created lazily on first use so it never rides along.
+
+    With ``shm_threshold`` set, arrays at or above that many bytes are
+    written to ``multiprocessing.shared_memory`` segments instead of the
+    pipe.  Segment lifetime follows the request/response alternation:
+    everything this endpoint stored for its last send is released (closed
+    and unlinked) when the peer's next message arrives — by then the peer
+    has provably decoded the previous one — with :meth:`close` sweeping
+    whatever is still outstanding so no ``/dev/shm`` litter survives.
     """
 
-    def __init__(self, connection):
+    def __init__(self, connection, *, wire_format: Optional[str] = None,
+                 shm_threshold: Optional[int] = None):
         self._connection = connection
         self._closed = False
+        self._wire_format = resolve_wire_format(wire_format)
+        self._shm_threshold = shm_threshold
+        self._pool: Optional[wire.ShmPool] = None
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.bytes_recv = 0
+        self.frames_recv = 0
 
     @classmethod
-    def pair(cls, context=None) -> Tuple["PipeTransport", "PipeTransport"]:
+    def pair(cls, context=None, *, wire_format: Optional[str] = None,
+             shm_threshold: Optional[int] = None,
+             ) -> Tuple["PipeTransport", "PipeTransport"]:
         """A connected ``(parent, child)`` transport pair."""
         if context is None:
             import multiprocessing as context
         left, right = context.Pipe()
-        return cls(left), cls(right)
+        return (
+            cls(left, wire_format=wire_format, shm_threshold=shm_threshold),
+            cls(right, wire_format=wire_format, shm_threshold=shm_threshold),
+        )
+
+    def _shm_pool(self) -> Optional[wire.ShmPool]:
+        if self._pool is None and self._shm_threshold is not None:
+            self._pool = wire.ShmPool(self._shm_threshold)
+        return self._pool
 
     def send(self, message) -> None:
+        self.send_encoded(
+            encode_payload(message, self._wire_format, self._shm_pool())
+        )
+
+    def send_encoded(self, payload: bytes) -> None:
         try:
-            self._connection.send(message)
+            self._connection.send_bytes(payload)
         except (BrokenPipeError, EOFError, OSError) as error:
             raise TransportClosed(str(error) or "pipe closed") from error
+        self.bytes_sent += len(payload)
+        self.frames_sent += 1
 
     def recv(self):
         try:
-            return self._connection.recv()
+            payload = self._connection.recv_bytes()
         except (EOFError, OSError) as error:
             raise TransportClosed(str(error) or "pipe closed") from error
-        except (pickle.UnpicklingError, ValueError, IndexError,
-                ImportError, AttributeError) as error:
-            # The documented unpickling failure modes: the channel is
-            # intact but the message is not trustworthy.
-            raise FrameError(str(error)) from error
+        if self._pool is not None:
+            # The peer has spoken again, so it has decoded everything we
+            # sent before this point (strict request/response
+            # alternation): our outstanding segments can be unlinked.
+            self._pool.release()
+        self.bytes_recv += len(payload)
+        self.frames_recv += 1
+        return decode_payload(payload)
 
     def poll(self, timeout: Optional[float] = None) -> bool:
         try:
@@ -170,28 +312,48 @@ class PipeTransport:
             # A dead peer is "readable": recv() will raise TransportClosed.
             return True
 
+    def stats(self) -> Dict:
+        pool = self._pool
+        return {
+            "wire_format": self._wire_format,
+            "bytes_sent": self.bytes_sent,
+            "frames_sent": self.frames_sent,
+            "bytes_recv": self.bytes_recv,
+            "frames_recv": self.frames_recv,
+            "shm_hits": 0 if pool is None else pool.hits,
+        }
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            if self._pool is not None:
+                self._pool.release()
             self._connection.close()
 
 
 class SocketTransport:
     """Framed messages over a connected TCP socket.
 
-    The frame layout (8-byte big-endian length, pickled payload) is shared
-    with :class:`~repro.api.remote.AsyncSimilarityClient`, so a server
-    never knows whether a thread or an event loop sits at the other end.
+    The frame layout (8-byte big-endian length, versioned payload) is
+    shared with :class:`~repro.api.remote.AsyncSimilarityClient`, so a
+    server never knows whether a thread or an event loop sits at the
+    other end.  No shared-memory pool here: sockets may cross machines.
     """
 
-    def __init__(self, sock):
+    def __init__(self, sock, *, wire_format: Optional[str] = None):
         self._socket = sock
         self._closed = False
+        self._wire_format = resolve_wire_format(wire_format)
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.bytes_recv = 0
+        self.frames_recv = 0
 
     @classmethod
     def connect(
         cls, host: str, port: int, timeout: Optional[float] = None,
         *, retries: int = 0, retry_wait: float = 0.1,
+        wire_format: Optional[str] = None,
     ) -> "SocketTransport":
         """Connect, optionally retrying with exponential backoff.
 
@@ -212,7 +374,7 @@ class SocketTransport:
                 sock = socket_module.create_connection((host, port),
                                                        timeout=timeout)
                 sock.settimeout(None)
-                return cls(sock)
+                return cls(sock, wire_format=wire_format)
             except OSError as error:
                 last_error = error
                 if attempt < retries:
@@ -224,10 +386,16 @@ class SocketTransport:
         ) from last_error
 
     def send(self, message) -> None:
+        self.send_encoded(encode_payload(message, self._wire_format))
+
+    def send_encoded(self, payload: bytes) -> None:
+        frame = FRAME_HEADER.pack(len(payload)) + payload
         try:
-            self._socket.sendall(encode_frame(message))
+            self._socket.sendall(frame)
         except OSError as error:
             raise TransportClosed(str(error) or "socket closed") from error
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
 
     def _read_exactly(self, n: int, *, header: bool) -> bytes:
         chunks = []
@@ -252,7 +420,20 @@ class SocketTransport:
         length = frame_length(
             self._read_exactly(FRAME_HEADER.size, header=True)
         )
-        return decode_payload(self._read_exactly(length, header=False))
+        payload = self._read_exactly(length, header=False)
+        self.bytes_recv += FRAME_HEADER.size + length
+        self.frames_recv += 1
+        return decode_payload(payload)
+
+    def stats(self) -> Dict:
+        return {
+            "wire_format": self._wire_format,
+            "bytes_sent": self.bytes_sent,
+            "frames_sent": self.frames_sent,
+            "bytes_recv": self.bytes_recv,
+            "frames_recv": self.frames_recv,
+            "shm_hits": 0,
+        }
 
     def poll(self, timeout: Optional[float] = None) -> bool:
         import select
@@ -304,19 +485,14 @@ def request(transport: Transport, command: str, payload=None,
     return read_reply(transport, who)
 
 
-def broadcast(transports: Sequence[Transport], command: str,
-              payloads: Sequence, who: str = "peer") -> List:
-    """Fan one command out over many peers, then gather every reply.
+def drain_replies(transports: Sequence[Transport],
+                  who: str = "peer") -> List:
+    """Gather one reply per peer, reading *every* channel before raising.
 
-    All sends complete before the first recv so the peers work
-    concurrently; *every* peer's reply is read (or its transport failure
-    recorded) before any error is raised — leaving a reply buffered in a
-    channel would desynchronize the RPC for all later commands on that
-    peer. Transport-level failures surface as :class:`RemoteCallError`
-    alongside peer-reported ones.
+    Leaving a reply buffered in a channel would desynchronize the RPC
+    for all later commands on that peer. Transport-level failures
+    surface as :class:`RemoteCallError` alongside peer-reported ones.
     """
-    for transport, payload in zip(transports, payloads):
-        transport.send((command, payload))
     results, failures = [], []
     for transport in transports:
         try:
@@ -333,6 +509,32 @@ def broadcast(transports: Sequence[Transport], command: str,
     if failures:
         raise RemoteCallError(f"{who} failed:\n" + "\n".join(failures))
     return results
+
+
+def broadcast(transports: Sequence[Transport], command: str,
+              payloads: Sequence, who: str = "peer") -> List:
+    """Fan one command out over many peers, then gather every reply.
+
+    All sends complete before the first recv so the peers work
+    concurrently; the reply discipline is :func:`drain_replies`.
+    """
+    for transport, payload in zip(transports, payloads):
+        transport.send((command, payload))
+    return drain_replies(transports, who)
+
+
+def broadcast_encoded(transports: Sequence[Transport], encoded: bytes,
+                      who: str = "peer") -> List:
+    """:func:`broadcast` a message that was encoded exactly once.
+
+    *encoded* is the :func:`encode_payload` bytes of one ``(command,
+    payload)`` message every peer should receive; the same buffer is
+    written to each transport, so an N-way fan-out pays for one
+    serialization instead of N.
+    """
+    for transport in transports:
+        transport.send_encoded(encoded)
+    return drain_replies(transports, who)
 
 
 class ServiceNode:
@@ -415,3 +617,22 @@ class ServiceNode:
             # The peer vanished between request and reply; nothing to do —
             # the loop will notice on the next recv().
             pass
+
+
+# ----------------------------------------------------------------------
+# Pickle fallback for the typed codec (wire tag ``P``)
+# ----------------------------------------------------------------------
+# wire.py itself never imports pickle (rule R301 confines pickle to this
+# module); it calls back into these at encode/decode time for objects
+# the tagged format has no representation for.
+def _wire_pickle_fallback_encode(obj) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _wire_pickle_fallback_decode(blob: bytes):
+    return pickle.loads(blob)
+
+
+wire.register_fallback(
+    _wire_pickle_fallback_encode, _wire_pickle_fallback_decode
+)

@@ -517,7 +517,8 @@ def _bench_in_process(args, backend, database, queries) -> dict:
     for workers in worker_counts:
         if workers > 1:
             service = ShardedSimilarityService(backend=backend,
-                                               num_workers=workers)
+                                               num_workers=workers,
+                                               wire_format=args.wire_format)
         else:
             service = SimilarityService(backend=backend)
         try:
@@ -580,8 +581,9 @@ def _bench_remote(args, backend, database, queries) -> dict:
 
     service = SimilarityService(backend=backend).add(database)
     service.knn(queries, k=args.k)  # warm the cache like the other modes
-    with SimilarityServer(service) as server:
-        with RemoteSimilarityClient(*server.address) as client:
+    with SimilarityServer(service, wire_format=args.wire_format) as server:
+        with RemoteSimilarityClient(*server.address,
+                                    wire_format=args.wire_format) as client:
             client.knn(queries[0], k=args.k)  # connection warm-up
             latencies = []
             start = time.perf_counter()
@@ -625,8 +627,9 @@ def _bench_async(args, backend, database, queries) -> dict:
         latencies.append(time.perf_counter() - t0)
 
     async def run(address):
-        clients = [await AsyncSimilarityClient.connect(address)
-                   for _ in range(connections)]
+        clients = [await AsyncSimilarityClient.connect(
+            address, wire_format=args.wire_format)
+            for _ in range(connections)]
         await clients[0].knn(queries[0], k=args.k)  # warm-up round-trip
         start = time.perf_counter()
         for _ in range(args.repeats):
@@ -639,7 +642,7 @@ def _bench_async(args, backend, database, queries) -> dict:
             await client.close()
         return args.repeats * len(queries) / elapsed
 
-    with SimilarityServer(service) as server:
+    with SimilarityServer(service, wire_format=args.wire_format) as server:
         qps = asyncio.run(run(server.address))
     return {"results": {"qps": round(qps, 2), "connections": connections,
                         "latency_ms": _latency_summary(latencies)}}
@@ -649,10 +652,12 @@ def _bench_cluster(args, backend, database, queries) -> dict:
     """queries/sec through a coordinator over real localhost shard workers."""
     from .api.cluster import ClusterCoordinator, ShardWorker
 
-    workers = [ShardWorker() for _ in range(max(1, args.cluster_workers))]
+    workers = [ShardWorker(wire_format=args.wire_format)
+               for _ in range(max(1, args.cluster_workers))]
     try:
         with ClusterCoordinator([w.address for w in workers],
                                 backend=backend,
+                                wire_format=args.wire_format,
                                 heartbeat_interval=0) as cluster:
             cluster.add(database)
             cluster.knn(queries, k=args.k)  # warm every shard
@@ -735,6 +740,69 @@ def _bench_http(args, backend, database, queries) -> dict:
                         "latency_ms": _latency_summary(latencies)}}
 
 
+def _bench_large_db(args, backend, database, queries) -> dict:
+    """Sharding at the DB size it exists for: --db-size trajectories.
+
+    The small --count database keeps the other scenarios fast, but at
+    that scale the per-query RPC overhead of sharding swamps the scan it
+    parallelizes. This scenario builds a --db-size database (default
+    50k), where the per-shard scan dominates, and sweeps 1 process vs 2
+    sharded workers on unbatched kNN — the sharded row also records the
+    merged transport counters so the bytes-on-the-wire effect of the
+    wire format is visible next to the q/s it buys.
+
+    The self-contained trajcl path trains its own model at
+    --large-db-dim (default 64, near the paper's d=128) instead of the
+    dim-16 toy the quick scenarios share: at serving-realistic widths
+    the scan is memory-bound, so a --db-size embedding matrix blows the
+    cache in one process while the half-size shards stay resident —
+    the regime sharding exists for.
+    """
+    from .api import ShardedSimilarityService, SimilarityService, get_backend
+    from .datasets import generate_city, get_preset
+
+    if backend.name == "trajcl" and not getattr(args, "checkpoint", None):
+        backend = get_backend("trajcl", trajectories=database,
+                              dim=args.large_db_dim, max_len=32,
+                              epochs=args.train_epochs, seed=args.seed)
+    big = generate_city(get_preset(args.city), args.db_size,
+                        seed=args.seed + 1)
+    big_queries = big[:min(args.queries, len(big))]
+    results = []
+    for workers in (1, 2):
+        if workers > 1:
+            service = ShardedSimilarityService(backend=backend,
+                                               num_workers=workers,
+                                               wire_format=args.wire_format)
+        else:
+            service = SimilarityService(backend=backend)
+        try:
+            service.add(big)
+            service.knn(big_queries, k=args.k)  # warm caches everywhere
+            latencies = []
+            start = time.perf_counter()
+            for _ in range(args.repeats):
+                for query in big_queries:
+                    t0 = time.perf_counter()
+                    service.knn(query, k=args.k)
+                    latencies.append(time.perf_counter() - t0)
+            qps = args.repeats * len(big_queries) / (
+                time.perf_counter() - start)
+            row = {"workers": workers, "unbatched_qps": round(qps, 2),
+                   "latency_ms": _latency_summary(latencies)}
+            if workers > 1:
+                row["transport"] = service.stats().get("transport")
+            results.append(row)
+        finally:
+            if workers > 1:
+                service.close()
+    # encode() returns the encoder output (structural_dim wide); the
+    # contrastive projection head only exists at training time.
+    config = getattr(getattr(backend, "model", None), "config", None)
+    return {"results": results, "db_size": len(big),
+            "embedding_dim": getattr(config, "structural_dim", None)}
+
+
 def merge_bench_scenarios(existing: Optional[dict], scenarios: dict,
                           config: dict) -> dict:
     """Merge a serve-bench run into a prior record, keyed by scenario.
@@ -785,14 +853,12 @@ def cmd_serve_bench(args) -> int:
 
     runners = {"in_process": _bench_in_process, "remote": _bench_remote,
                "async": _bench_async, "cluster": _bench_cluster,
-               "http": _bench_http}
+               "http": _bench_http, "large_db": _bench_large_db}
     names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
     unknown = [name for name in names if name not in runners]
     if unknown:
         raise SystemExit(f"unknown scenario(s) {unknown}; "
                          f"choose from {sorted(runners)}")
-    scenarios = {name: runners[name](args, backend, database, queries)
-                 for name in names}
 
     config = {
         "backend": backend.name,
@@ -802,7 +868,19 @@ def cmd_serve_bench(args) -> int:
         "repeats": args.repeats,
         "max_batch": args.max_batch,
         "batch_wait": args.batch_wait,
+        "wire_format": args.wire_format,
     }
+    if "large_db" in names:
+        config["db_size"] = args.db_size
+        config["large_db_dim"] = args.large_db_dim
+    # The effective config, printed up front: past records drifted from
+    # the prose quoting them because the run's parameters were invisible.
+    print("config: " + " ".join(f"{key}={value}"
+                                for key, value in config.items())
+          + f" workers={args.workers} scenarios={','.join(names)}")
+
+    scenarios = {name: runners[name](args, backend, database, queries)
+                 for name in names}
     if args.output:
         existing = None
         if os.path.exists(args.output):
@@ -842,6 +920,15 @@ def cmd_serve_bench(args) -> int:
               f"{result['concurrent_qps']} q/s over "
               f"{result['connections']} connections "
               f"(p50 {latency['p50']} ms, p99 {latency['p99']} ms)")
+    if "large_db" in scenarios:
+        record = scenarios["large_db"]
+        for row in record["results"]:
+            label = ("single process" if row["workers"] == 1
+                     else f"{row['workers']} sharded workers")
+            print(f"large_db ({record['db_size']} trajectories, "
+                  f"dim {record.get('embedding_dim')}, "
+                  f"{args.wire_format}): {label} "
+                  f"{row['unbatched_qps']} q/s unbatched")
     if args.output:
         print(f"written to {args.output}")
     return 0
@@ -1116,8 +1203,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-wait", type=float, default=0.005)
     p.add_argument("--scenarios", default="in_process,remote,async,cluster,http",
                    help="comma-separated subset of in_process/remote/async/"
-                        "cluster/http; scenarios not re-run keep their "
-                        "previous numbers in --output")
+                        "cluster/http/large_db; scenarios not re-run keep "
+                        "their previous numbers in --output")
+    p.add_argument("--large-db-dim", type=int, default=64,
+                   help="embedding dim for the large_db scenario's "
+                        "self-trained trajcl model (serving-realistic "
+                        "widths make the scan memory-bound; the quick "
+                        "scenarios share a fast dim-16 toy instead)")
+    p.add_argument("--db-size", type=int, default=50000,
+                   help="database size of the large_db scenario (the scale "
+                        "where sharding must beat a single process)")
+    p.add_argument("--wire-format", choices=["binary", "pickle"],
+                   default="binary",
+                   help="frame payload codec for every transport-crossing "
+                        "scenario (binary: typed tags + raw array buffers; "
+                        "pickle: the legacy codec)")
     p.add_argument("--connections", type=int, default=4,
                    help="concurrent connections in the async and http "
                         "scenarios")

@@ -82,7 +82,7 @@ def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("C201", "C202", "C203", "C204", "R301", "R306",
-                    "S001", "S002", "E001"):
+                    "R307", "S001", "S002", "E001"):
         assert rule_id in out
 
 

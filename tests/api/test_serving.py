@@ -187,6 +187,63 @@ class TestShardedParity:
         assert sum(stats["shard_sizes"]) == len(trajectories)
 
 
+class TestWireTransportParity:
+    """The binary codec and shared-memory transport must be invisible to
+    callers: bit-identical answers, counters in stats, no /dev/shm litter."""
+
+    @staticmethod
+    def _shm_segments():
+        import glob
+        import os
+        return {os.path.basename(p)
+                for p in glob.glob("/dev/shm/repro_wire_*")}
+
+    def test_tiny_shm_threshold_parity_and_cleanup(self, trajcl_backend,
+                                                   single_service,
+                                                   trajectories):
+        import os
+        check_fs = os.path.isdir("/dev/shm")
+        baseline = self._shm_segments() if check_fs else set()
+        service = ShardedSimilarityService(backend=trajcl_backend,
+                                           num_workers=2, shm_threshold=1)
+        try:
+            service.add(trajectories)
+            queries = trajectories[:5]
+            d_single, i_single = single_service.knn(queries, k=4)
+            d_sharded, i_sharded = service.knn(queries, k=4)
+            assert i_single.tobytes() == i_sharded.tobytes()
+            np.testing.assert_allclose(d_single, d_sharded)
+            stats = service.stats()
+            assert stats["wire_format"] == "binary"
+            assert stats["transport"]["shm_hits"] > 0
+        finally:
+            service.close()
+        if check_fs:
+            assert self._shm_segments() <= baseline
+
+    def test_forced_pickle_parity_and_no_shm(self, trajcl_backend,
+                                             single_service, trajectories):
+        with ShardedSimilarityService(backend=trajcl_backend, num_workers=2,
+                                      wire_format="pickle") as service:
+            service.add(trajectories)
+            d_single, i_single = single_service.knn(trajectories[:5], k=4)
+            d_sharded, i_sharded = service.knn(trajectories[:5], k=4)
+            assert i_single.tobytes() == i_sharded.tobytes()
+            np.testing.assert_allclose(d_single, d_sharded)
+            stats = service.stats()
+            assert stats["wire_format"] == "pickle"
+            assert stats["transport"]["shm_hits"] == 0
+
+    def test_stats_expose_transport_counters(self, sharded_service):
+        transport = sharded_service.stats()["transport"]
+        for key in ("bytes_sent", "frames_sent", "bytes_recv",
+                    "frames_recv", "shm_hits"):
+            assert key in transport
+            assert transport[key] >= 0
+        assert transport["frames_sent"] > 0
+        assert transport["bytes_sent"] > transport["frames_sent"] * 8
+
+
 class TestQueryQueue:
     def test_concurrent_callers_get_correct_results(self, single_service,
                                                     trajectories):

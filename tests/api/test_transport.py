@@ -18,9 +18,12 @@ from repro.api.transport import (
     SocketTransport,
     TransportClosed,
     broadcast,
+    broadcast_encoded,
     decode_payload,
     encode_frame,
+    encode_payload,
     frame_length,
+    merge_transport_stats,
     request,
 )
 
@@ -310,5 +313,149 @@ class TestPipeUnpickling:
         left._connection.send_bytes(b"\x80garbage that is not a pickle")
         with pytest.raises((FrameError, TransportClosed)):
             right.recv()
+        left.close()
+        right.close()
+
+
+class TestWireFormats:
+    """Per-payload version sniffing: a binary sender and a pickle sender
+    interoperate on the same channel with no handshake."""
+
+    @pytest.mark.parametrize("sender_fmt,receiver_fmt", [
+        ("binary", "pickle"), ("pickle", "binary"),
+        ("binary", "binary"), ("pickle", "pickle"),
+    ])
+    def test_mixed_format_pipe_round_trip(self, sender_fmt, receiver_fmt):
+        left, right = PipeTransport.pair()
+        left._wire_format = sender_fmt
+        right._wire_format = receiver_fmt
+        payload = np.random.default_rng(7).normal(size=(5, 2))
+        left.send(("echo", payload))
+        command, received = right.recv()
+        assert command == "echo"
+        assert received.tobytes() == payload.tobytes()
+        right.send(("reply", received * 2))
+        _, back = left.recv()
+        assert back.tobytes() == (payload * 2).tobytes()
+        left.close()
+        right.close()
+
+    def test_unknown_wire_format_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown wire_format"):
+            PipeTransport.pair(wire_format="capnproto")
+
+    def test_binary_beats_pickle_on_array_bytes(self):
+        message = ("knn", {"queries": np.zeros((64, 16)), "k": 5})
+        binary = encode_payload(message, "binary")
+        legacy = encode_payload(message, "pickle")
+        assert len(binary) < len(legacy)
+
+
+class TestTransportStats:
+    def test_pipe_counters_track_traffic(self):
+        left, right = PipeTransport.pair()
+        left.send("ping")
+        right.recv()
+        right.send("pong")
+        left.recv()
+        for transport in (left, right):
+            stats = transport.stats()
+            assert stats["frames_sent"] == 1
+            assert stats["frames_recv"] == 1
+            assert stats["bytes_sent"] > 0
+            assert stats["bytes_recv"] > 0
+            assert stats["shm_hits"] == 0
+        left.close()
+        right.close()
+
+    def test_socket_counters_include_frame_headers(self):
+        left, right = socket_transport_pair()
+        left.send("ping")
+        assert right.recv() == "ping"
+        assert left.stats()["bytes_sent"] == \
+            right.stats()["bytes_recv"]
+        assert left.stats()["bytes_sent"] > FRAME_HEADER.size
+        left.close()
+        right.close()
+
+    def test_merge_sums_counters_and_keeps_uniform_format(self):
+        merged = merge_transport_stats([
+            {"wire_format": "binary", "bytes_sent": 10, "frames_sent": 1,
+             "bytes_recv": 5, "frames_recv": 1, "shm_hits": 2},
+            {"wire_format": "binary", "bytes_sent": 20, "frames_sent": 2,
+             "bytes_recv": 15, "frames_recv": 3, "shm_hits": 0},
+        ])
+        assert merged["bytes_sent"] == 30
+        assert merged["frames_sent"] == 3
+        assert merged["shm_hits"] == 2
+        assert merged["wire_format"] == "binary"
+
+    def test_merge_drops_format_when_mixed(self):
+        merged = merge_transport_stats([
+            {"wire_format": "binary", "bytes_sent": 1},
+            {"wire_format": "pickle", "bytes_sent": 2},
+        ])
+        assert merged["bytes_sent"] == 3
+        assert "wire_format" not in merged
+
+
+class TestBroadcastEncoded:
+    def test_one_encode_reaches_every_peer(self):
+        pairs = [PipeTransport.pair() for _ in range(3)]
+        callers = [left for left, _ in pairs]
+        for _, server in pairs:
+            run_node(server, {"echo": lambda payload: payload})
+        encoded = encode_payload(("echo", "shared"))
+        assert broadcast_encoded(callers, encoded) == ["shared"] * 3
+        # Each peer received the same byte count: the payload was
+        # serialized once and written verbatim to every channel.
+        assert {t.stats()["bytes_sent"] for t in callers} == {len(encoded)}
+        for caller in callers:
+            caller.close()
+
+    def test_failure_still_drains_every_reply(self):
+        pairs = [PipeTransport.pair() for _ in range(3)]
+        callers = [left for left, _ in pairs]
+
+        def handler_for(n):
+            def handler(payload):
+                if n == 1 and payload == "boom":
+                    raise RuntimeError("shard exploded")
+                return payload
+            return handler
+
+        for n, (_, server) in enumerate(pairs):
+            run_node(server, {"echo": handler_for(n)})
+        with pytest.raises(RemoteCallError, match="shard exploded"):
+            broadcast_encoded(callers, encode_payload(("echo", "boom")),
+                              who="shard worker")
+        # Replies were drained: the channels stay usable and in sync.
+        assert broadcast(callers, "echo", ["a", "b", "c"]) == ["a", "b", "c"]
+        for caller in callers:
+            caller.close()
+
+
+class TestPipeSharedMemory:
+    def test_large_reply_uses_segments_and_cleans_up(self):
+        left, right = PipeTransport.pair(shm_threshold=1024)
+        array = np.random.default_rng(11).normal(size=(64, 8))
+        left.send(("big", array))
+        command, received = right.recv()
+        assert command == "big"
+        assert received.tobytes() == array.tobytes()
+        assert left.stats()["shm_hits"] == 1
+        del received
+        # The peer speaking again proves consumption: segments released.
+        right.send(("ack", None))
+        left.recv()
+        assert left._pool is not None and not left._pool._segments
+        left.close()
+        right.close()
+
+    def test_pickle_format_pair_never_builds_a_pool(self):
+        left, right = PipeTransport.pair(wire_format="pickle")
+        left.send(("x", np.zeros((64, 64))))
+        right.recv()
+        assert left.stats()["shm_hits"] == 0
         left.close()
         right.close()
