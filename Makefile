@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all lint lint-smoke smoke serve-smoke cluster-smoke http-smoke bench serve-bench bench-encode
+.PHONY: test test-all lint lint-smoke smoke serve-smoke cluster-smoke chaos-smoke http-smoke bench serve-bench bench-encode
 
 # Tier-1 suite (the repo's verification gate; deselects `slow`-marked
 # serving stress tests — see pytest.ini).
@@ -15,6 +15,7 @@ test-all: lint
 	REPRO_LOCK_SANITIZER=1 $(PYTHON) -m pytest -x -q -m ""
 	$(PYTHON) scripts/serve_smoke.py
 	$(PYTHON) scripts/cluster_smoke.py
+	$(PYTHON) scripts/chaos_smoke.py
 	$(PYTHON) scripts/http_smoke.py
 	$(PYTHON) scripts/lint_smoke.py
 
@@ -44,6 +45,13 @@ serve-smoke:
 # against the local CLI path.
 cluster-smoke:
 	$(PYTHON) scripts/cluster_smoke.py
+
+# Fault-tolerance smoke: three real worker processes behind a
+# replication=2 coordinator; SIGKILLs one mid-traffic (kNN must stay
+# bit-exact with zero failed queries), rejoins a replacement, then
+# reruns traffic under a seeded ChaosTransport drop/latency schedule.
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
 
 # Boots a real `repro serve-http` gateway over a 2-worker sharded
 # service, checks HTTP knn parity with the local service, floods it past

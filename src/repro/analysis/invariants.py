@@ -23,6 +23,11 @@ caught at lint time instead of in review:
   only exempt spots are functions whose name says ``fallback``, the
   codec's audited escape hatch for objects the tag vocabulary cannot
   express.
+* **R308** — a retry loop that sleeps a *constant* between attempts has
+  no backoff: every retrier in a fleet wakes in lockstep and hammers
+  the recovering peer (the serving stack's connect/retry paths all
+  scale and jitter their waits — see ``SocketTransport.connect`` and
+  the remote client's transient retry).
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from .core import Checker, FileContext, Finding, Rule, register_checker
 
 __all__ = [
     "RULE_R301", "RULE_R302", "RULE_R303",
-    "RULE_R304", "RULE_R305", "RULE_R306", "RULE_R307",
+    "RULE_R304", "RULE_R305", "RULE_R306", "RULE_R307", "RULE_R308",
 ]
 
 RULE_R301 = Rule(
@@ -79,6 +84,13 @@ RULE_R307 = Rule(
     "encode arrays through repro.api.wire (typed tag + dtype + shape + "
     "raw buffer); the pickle fallback exists only for objects the codec "
     "cannot express, inside functions named *fallback*",
+)
+RULE_R308 = Rule(
+    "R308", "warning",
+    "constant time.sleep in a retry loop (no backoff)",
+    "scale the wait between attempts (exponential backoff, ideally with "
+    "jitter) so a fleet of retriers does not wake in lockstep against a "
+    "recovering peer",
 )
 
 #: modules where pickle use is by design
@@ -335,6 +347,41 @@ class ArrayPickleChecker(Checker):
                 or bool(_ARRAY_LIKE.search(chain))
             )
         return False
+
+
+@register_checker
+class RetryBackoffChecker(Checker):
+    """R308 — retry loops that sleep a constant between attempts.
+
+    The shape it hunts: a ``for``/``while`` whose body both catches an
+    exception (the retry) and calls ``time.sleep(<literal>)`` (the
+    fixed wait). A *variable* sleep argument is taken as evidence of a
+    backoff and left alone — the rule polices the pattern, not the
+    math. Plain polling loops (sleep but no try) don't fire.
+    """
+
+    rules = (RULE_R308,)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _attr_chain(node.func) != "time.sleep":
+                continue
+            if not node.args or not isinstance(node.args[0], ast.Constant):
+                continue  # variable wait: (presumably) already a backoff
+            loop = ctx.enclosing(node, (ast.For, ast.While, ast.AsyncFor))
+            if loop is None:
+                continue
+            if not any(isinstance(sub, ast.Try) for sub in ast.walk(loop)):
+                continue  # a polling loop, not a retry loop
+            findings.append(ctx.finding(
+                RULE_R308, node,
+                "retry loop sleeps a constant between attempts; scale "
+                "the wait (exponential backoff, ideally jittered)",
+            ))
+        return findings
 
 
 @register_checker

@@ -29,8 +29,10 @@ services behind a TCP port (:class:`SimilarityServer`) with blocking
 (:class:`RemoteSimilarityClient`) and asyncio
 (:class:`AsyncSimilarityClient`) front-ends; :mod:`repro.api.cluster`
 fans the shards out across machines (:class:`ClusterCoordinator` over N
-:class:`ShardWorker` servers, with heartbeats, failover and sharded
-snapshots); :mod:`repro.api.gateway` is the HTTP/JSON edge
+:class:`ShardWorker` servers, with N-way replication, heartbeats,
+failover, automatic rejoin/re-replication and sharded snapshots —
+:mod:`repro.api.chaos` fault-injects that stack deterministically);
+:mod:`repro.api.gateway` is the HTTP/JSON edge
 (:class:`SimilarityGateway` over any of the above, with rate limiting,
 deadlines, load shedding and a Prometheus ``/metrics`` endpoint). All
 inter-process and network traffic below the gateway speaks the
@@ -71,6 +73,7 @@ from .serving import (
     QueryQueue,
     QueueFullError,
     QueueStats,
+    ShardLostError,
     ShardedSimilarityService,
 )
 from .transport import (
@@ -78,10 +81,12 @@ from .transport import (
     RemoteCallError,
     ServiceNode,
     SocketTransport,
+    TransientError,
     Transport,
     TransportClosed,
     TransportError,
 )
+from .chaos import ChaosConfig, ChaosTransport
 from .remote import (
     AsyncSimilarityClient,
     RemoteSimilarityClient,
@@ -119,10 +124,14 @@ __all__ = [
     "QueueStats",
     "QueueFullError",
     "DeadlineExceededError",
+    "ShardLostError",
     "Transport",
     "TransportError",
     "TransportClosed",
+    "TransientError",
     "RemoteCallError",
+    "ChaosConfig",
+    "ChaosTransport",
     "PipeTransport",
     "SocketTransport",
     "ServiceNode",

@@ -1,19 +1,21 @@
-"""Multi-machine serving: shard workers, a coordinator, heartbeats, failover.
+"""Multi-machine serving: replicated shard workers, recovery, failover.
 
 PR 2 sharded the database across worker *processes* on one box; this
 module fans the same stack out across *machines*, still speaking the one
 framed-message protocol from :mod:`repro.api.transport`:
 
-* :class:`ShardWorker` — a standalone TCP server holding one database
-  shard as a local :class:`~repro.api.service.SimilarityService`. It
-  boots empty; a coordinator's ``join`` handshake ships the backend (via
-  ``backend_state``, the same representation snapshots use) and the index
-  recipe, after which the worker answers the shard commands
-  (``add``/``knn``/``pairwise``/``export``/``ping``/``leave``). The CLI
-  wrapper is ``python -m repro cluster-worker``;
+* :class:`ShardWorker` — a standalone TCP server hosting one or more
+  *logical shards*, each a local
+  :class:`~repro.api.service.SimilarityService`. It boots empty; a
+  coordinator's ``join`` handshake ships the backend (via
+  ``backend_state``, the same representation snapshots use), the index
+  recipe, and the shard assignment, after which the worker answers the
+  shard-addressed commands (``add``/``knn``/``pairwise``/``export``/
+  ``host``/``ping``/``leave``). The CLI wrapper is
+  ``python -m repro cluster-worker``;
 * :class:`ClusterCoordinator` — connects to N workers, joins each one,
-  round-robins the database across them, and merges per-shard top-k with
-  the exact frontier certificate shared with
+  deals the database across the *logical shards*, and merges per-shard
+  top-k with the exact frontier certificate shared with
   :class:`~repro.api.serving.ShardedSimilarityService` (via
   :class:`~repro.api.serving.ShardMergeMixin`) — bit-identical to a
   single service for exact indexes, recall-≥ for IVF. It satisfies the
@@ -21,14 +23,34 @@ framed-message protocol from :mod:`repro.api.transport`:
   ``SimilarityServer`` and both remote clients compose with it unchanged
   (``python -m repro cluster`` is exactly that composition).
 
-Failure handling: a background heartbeat pings every worker on a
-dedicated connection (lock-free on the worker side, so a busy shard
-still answers); a worker whose process or link has died is marked
-*degraded*, its channels are severed (which unblocks any request
-currently waiting on it), and queries continue against the surviving
-shards instead of hanging. ``add`` requeues a dead worker's chunk onto
-the survivors. Degraded shards are reported in ``stats()``; their
-trajectories are unavailable until re-added or restored.
+Fault tolerance (``replication=R``): each logical shard is placed on R
+distinct workers. ``add`` writes to every replica and commits on the
+first ack; a replica that missed a committed write gets it recorded in a
+bounded per-shard *catch-up log*. Queries route to one healthy replica
+per shard and fail over mid-request — a worker that dies between frames
+is degraded in place and its shards are re-asked on the surviving
+replicas, so a kill mid-traffic costs zero failed queries and the
+answers stay bit-identical (replicas hold byte-identical shard state by
+construction). Only when *every* replica of a shard is down does a query
+raise :class:`~repro.api.serving.ShardLostError`; an unreplicated
+cluster (R=1) keeps the legacy capacity-loss semantics instead (the
+degraded shard is skipped and reported via ``stats()``).
+
+Recovery: :meth:`ClusterCoordinator.rejoin` brings a restarted worker
+back — it is re-identified by worker id, restored from a healthy replica
+(authoritative ``export``/re-``add``), or, when none exists, from the
+latest snapshot plus the catch-up log, then promoted from degraded back
+to up. The heartbeat loop additionally *re-replicates* in the
+background: a shard below R healthy copies is exported onto a spare
+worker, so replication heals without operator action. ``add`` deals
+each trajectory to the currently-smallest eligible shard (ties broken by
+shard id — identical to round-robin when balanced), which doubles as
+skew-triggered rebalancing when shards drift apart.
+
+Fault injection: pass ``chaos=`` (a :class:`~repro.api.chaos.ChaosConfig`
+or a ``"seed=7,drop=0.05"`` spec string) and every worker link is wrapped
+in a deterministic :class:`~repro.api.chaos.ChaosTransport`; the CLI
+exposes this as ``repro cluster --chaos``.
 
 Sharded snapshots: :meth:`ClusterCoordinator.save` writes one ``.npz``
 per shard plus a JSON manifest (shard count, backend config, index kind,
@@ -38,12 +60,13 @@ by reassigning the shard files, global ids preserved. Quickstart::
 
     from repro.api.cluster import ClusterCoordinator, ShardWorker
 
-    workers = [ShardWorker(), ShardWorker()]        # or two machines
+    workers = [ShardWorker() for _ in range(3)]      # or three machines
     with ClusterCoordinator([w.address for w in workers],
-                            backend="hausdorff") as cluster:
+                            backend="hausdorff", replication=2) as cluster:
         cluster.add(trajectories)
+        workers[0].close()                           # kill one mid-traffic
         distances, ids = cluster.knn(trajectories[0], k=5, exclude=0)
-        cluster.save("snapshot/")                   # one .npz per shard
+        cluster.rejoin("worker-0", address=replacement.address)
 """
 
 from __future__ import annotations
@@ -51,18 +74,21 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from ..trajectory import as_points
 from ..trajectory.trajectory import TrajectoryLike
 from .backends import backend_state, restore_backend
+from .chaos import ChaosConfig, ChaosTransport
 from .protocols import SimilarityBackend, as_backend
 from .registry import get_backend
 from .remote import ThreadedNodeServer, install_signal_shutdown, parse_address
 from .service import SimilarityService, _default_index_for
 from .serving import (
+    ShardLostError,
     ShardMergeMixin,
     _as_batch,
     freeze_shard_ids,
@@ -74,7 +100,6 @@ from .transport import (
     SocketTransport,
     TransportClosed,
     TransportError,
-    encode_payload,
     merge_transport_stats,
     request,
     resolve_wire_format,
@@ -94,15 +119,21 @@ _SNAPSHOT_KIND = "repro-cluster-snapshot"
 # Worker
 # ----------------------------------------------------------------------
 class ShardWorker(ThreadedNodeServer):
-    """One cluster shard: a TCP server around a local similarity service.
+    """One cluster worker: a TCP server hosting logical shards.
 
-    Boots with no shard; the coordinator's ``join`` carries the backend
-    state and index recipe and (re)builds the service — a later ``join``
-    from a new coordinator replaces the shard, ``leave`` drops it.
+    Boots with no shards; the coordinator's ``join`` carries the backend
+    state, the index recipe, and the shard assignment, and (re)builds
+    one local service per assigned shard — a later ``join`` from a new
+    coordinator replaces everything, ``leave`` drops it, ``host`` adds
+    empty shards (the re-replication path). Shard commands address
+    shards explicitly (``add`` maps ``{shard: points}``, ``knn`` asks
+    ``(shards, (queries, fetch))``), so one worker can serve several
+    replicas without ever pooling their ids.
+
     Connections are independent (the coordinator keeps one for requests
     and one for heartbeats); shard commands are serialized through one
     lock, while ``ping`` and ``shutdown`` stay lock-free — a heartbeat
-    must answer even while a long ``add``/``knn`` holds the shard busy,
+    must answer even while a long ``add``/``knn`` holds the shards busy,
     so only a *dead* worker (process or link gone) is ever failed over,
     never a merely slow one.
 
@@ -114,75 +145,140 @@ class ShardWorker(ThreadedNodeServer):
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  backlog: int = 16, wire_format: Optional[str] = None):
         self._lock = threading.Lock()
-        self._service: Optional[SimilarityService] = None
+        self._services: Dict[int, SimilarityService] = {}
+        self._recipe: Optional[Dict] = None
+        self._worker_id: Optional[str] = None
         super().__init__(host, port, backlog=backlog, wire_format=wire_format)
 
     def _thread_name(self) -> str:
         return f"repro-shard-worker:{self.address[1]}"
 
+    def _build_service(self) -> SimilarityService:
+        recipe = self._recipe
+        if recipe is None:
+            raise RuntimeError(
+                "worker holds no shard; the coordinator must send "
+                "'join' first"
+            )
+        backend_meta, backend_arrays = recipe["backend"]
+        return SimilarityService(
+            backend=restore_backend(backend_meta, dict(backend_arrays)),
+            index=recipe.get("index"),
+            index_kwargs=recipe.get("index_kwargs"),
+            **(recipe.get("service_kwargs") or {}),
+        )
+
     def _handlers(self) -> Dict:
-        def service_or_raise() -> SimilarityService:
-            if self._service is None:
+        def service_for(shard) -> SimilarityService:
+            service = self._services.get(int(shard))
+            if service is None:
+                raise RuntimeError(
+                    f"worker hosts no shard {shard}; the coordinator must "
+                    "send 'join' (or 'host') first"
+                )
+            return service
+
+        def handle_join(payload):
+            self._recipe = {
+                "backend": payload["backend"],
+                "index": payload.get("index"),
+                "index_kwargs": payload.get("index_kwargs"),
+                "service_kwargs": payload.get("service_kwargs"),
+            }
+            self._worker_id = payload.get("worker_id")
+            shards = payload.get("shards")
+            if shards is None:
+                shards = [0]
+            # A re-join replaces the hosted shards wholesale (the dict is
+            # swapped, never mutated, so the lock-free ping can iterate a
+            # stable snapshot).
+            self._services = {int(s): self._build_service() for s in shards}
+            return {"pid": os.getpid(), "worker_id": self._worker_id,
+                    "sizes": {s: len(svc)
+                              for s, svc in self._services.items()}}
+
+        def handle_host(shards):
+            if self._recipe is None:
                 raise RuntimeError(
                     "worker holds no shard; the coordinator must send "
                     "'join' first"
                 )
-            return self._service
-
-        def handle_join(payload):
-            backend_meta, backend_arrays = payload["backend"]
-            service = SimilarityService(
-                backend=restore_backend(backend_meta, dict(backend_arrays)),
-                index=payload.get("index"),
-                index_kwargs=payload.get("index_kwargs"),
-                **(payload.get("service_kwargs") or {}),
-            )
-            self._service = service  # a re-join replaces the shard
-            return {"pid": os.getpid(), "size": len(service)}
+            services = dict(self._services)
+            for shard in shards:
+                if int(shard) not in services:
+                    services[int(shard)] = self._build_service()
+            self._services = services
+            return {s: len(svc) for s, svc in self._services.items()}
 
         def handle_leave(_payload):
-            self._service = None
+            self._services = {}
+            self._recipe = None
             return None
 
         def handle_ping(_payload):
-            service = self._service
-            return {"joined": service is not None,
-                    "size": 0 if service is None else len(service)}
+            services = self._services  # swapped wholesale, safe to iterate
+            return {"joined": bool(services),
+                    "worker_id": self._worker_id,
+                    "size": sum(len(s) for s in services.values())}
 
-        def handle_add(points):
-            service = service_or_raise()
-            service.add(points)
-            return len(service)
+        def handle_add(payload):
+            sizes = {}
+            for shard, points in payload.items():
+                service = service_for(shard)
+                service.add(points)
+                sizes[shard] = len(service)
+            return sizes
 
         def handle_knn(payload):
-            queries, fetch = payload
-            service = service_or_raise()
-            if len(service) == 0:
-                # An empty shard (database smaller than the cluster)
-                # contributes an all-padding pool.
-                return (np.full((len(queries), fetch), np.inf),
+            shards, (queries, fetch) = payload
+            out = {}
+            for shard in shards:
+                service = service_for(shard)
+                if len(service) == 0:
+                    # An empty shard (database smaller than the cluster)
+                    # contributes an all-padding pool.
+                    out[shard] = (
+                        np.full((len(queries), fetch), np.inf),
                         np.full((len(queries), fetch), -1, dtype=np.int64))
-            # No exclude/dedupe here: the coordinator filters after the
-            # merge, where global ids are known.
-            return service.knn(queries, k=fetch)
+                else:
+                    # No exclude/dedupe here: the coordinator filters after
+                    # the merge, where global ids are known.
+                    out[shard] = service.knn(queries, k=fetch)
+            return out
 
-        def handle_pairwise(queries):
-            return service_or_raise().pairwise(queries)
+        def handle_pairwise(payload):
+            shards, queries = payload
+            return {shard: service_for(shard).pairwise(queries)
+                    for shard in shards}
 
-        def handle_export(_payload):
-            return list(service_or_raise().trajectories)
+        def handle_export(payload):
+            shards, _ = payload
+            if shards is None:
+                shards = sorted(self._services)
+            return {shard: list(service_for(shard).trajectories)
+                    for shard in shards}
 
         def handle_len(_payload):
-            return 0 if self._service is None else len(self._service)
+            return sum(len(s) for s in self._services.values())
 
         def handle_stats(_payload):
-            if self._service is None:
-                info: Dict = {"type": type(self).__name__, "joined": False,
-                              "size": 0}
-            else:
-                info = dict(self._service.stats())
-                info["joined"] = True
-            info["pid"] = os.getpid()
+            services = self._services
+            info: Dict = {
+                "type": type(self).__name__,
+                "joined": bool(services),
+                "pid": os.getpid(),
+                "worker_id": self._worker_id,
+                "shards": {s: len(svc) for s, svc in services.items()},
+                "size": sum(len(svc) for svc in services.values()),
+            }
+            if services:
+                per_service = [svc.stats() for svc in services.values()]
+                first = per_service[0]
+                for key in ("backend", "kind", "index"):
+                    if key in first:
+                        info[key] = first[key]
+                info["cache"] = merge_cache_counters(
+                    [s["cache"] for s in per_service if "cache" in s])
             return info
 
         def handle_shutdown(_payload):
@@ -191,6 +287,7 @@ class ShardWorker(ThreadedNodeServer):
 
         locked = {name: self._locked(fn) for name, fn in {
             "join": handle_join,
+            "host": handle_host,
             "leave": handle_leave,
             "add": handle_add,
             "knn": handle_knn,
@@ -200,7 +297,7 @@ class ShardWorker(ThreadedNodeServer):
             "stats": handle_stats,
         }.items()}
         # ping/shutdown bypass the shard lock: liveness checks and kill
-        # switches must answer while a long request holds the shard busy
+        # switches must answer while a long request holds the shards busy
         # (they only read or flip flag state).
         return {**locked, "ping": handle_ping, "shutdown": handle_shutdown}
 
@@ -219,10 +316,13 @@ class ShardWorker(ThreadedNodeServer):
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else "listening"
-        joined = "no shard" if self._service is None else (
-            f"shard of {len(self._service)}")
+        if not self._services:
+            hosted = "no shards"
+        else:
+            hosted = (f"shards {sorted(self._services)} of "
+                      f"{sum(len(s) for s in self._services.values())}")
         return (f"ShardWorker({self.address[0]}:{self.address[1]}, "
-                f"{state}, {joined})")
+                f"{state}, {hosted})")
 
 
 def run_worker(host: str = "127.0.0.1", port: int = 0,
@@ -255,16 +355,25 @@ def run_worker(host: str = "127.0.0.1", port: int = 0,
 class _WorkerLink:
     """Coordinator-side state for one shard worker."""
 
-    __slots__ = ("shard", "address", "transport", "heartbeat", "alive",
-                 "reason")
+    __slots__ = ("worker", "worker_id", "address", "transport", "heartbeat",
+                 "alive", "reason", "shards", "catchup", "catchup_overflow")
 
-    def __init__(self, shard: int, address: Tuple[str, int]):
-        self.shard = shard
+    def __init__(self, worker: int, address: Tuple[str, int],
+                 shards: Sequence[int]):
+        self.worker = worker
+        self.worker_id = f"worker-{worker}"
         self.address = address
-        self.transport: Optional[SocketTransport] = None
-        self.heartbeat: Optional[SocketTransport] = None
+        self.transport = None
+        self.heartbeat = None
         self.alive = False
         self.reason: Optional[str] = None
+        #: logical shards this worker hosts (mirrors coordinator placement)
+        self.shards: List[int] = list(shards)
+        #: per-shard (global_id, points) adds committed while this worker
+        #: was down — replayed on rejoin, bounded by catchup_limit
+        self.catchup: Dict[int, deque] = {}
+        #: shards whose catch-up log overflowed (replay no longer possible)
+        self.catchup_overflow: Set[int] = set()
 
     @property
     def label(self) -> str:
@@ -275,23 +384,25 @@ class ClusterCoordinator(ShardMergeMixin):
     """kNN serving over a database partitioned across remote shard workers.
 
     The multi-machine sibling of
-    :class:`~repro.api.serving.ShardedSimilarityService`: trajectories are
-    assigned round-robin to the workers named in ``workers`` (each a
-    running :class:`ShardWorker`), the backend ships once per worker in
-    the ``join`` handshake, and queries merge per-shard top-k through the
-    shared :class:`~repro.api.serving.ShardMergeMixin` — bit-identical to
-    a single :class:`~repro.api.service.SimilarityService` for exact
-    shard indexes, recall-≥ for IVF.
+    :class:`~repro.api.serving.ShardedSimilarityService`: trajectories
+    are dealt across ``len(workers)`` logical shards (each placed on
+    ``replication`` distinct workers), the backend ships once per worker
+    in the ``join`` handshake, and queries merge per-shard top-k through
+    the shared :class:`~repro.api.serving.ShardMergeMixin` —
+    bit-identical to a single
+    :class:`~repro.api.service.SimilarityService` for exact shard
+    indexes, recall-≥ for IVF.
 
     ``heartbeat_interval > 0`` starts a background pinger; a worker whose
     process or link has died (pings answer lock-free on the worker, so a
     busy shard never trips this) is marked degraded within
     ``heartbeat_timeout`` and failed over — in-flight requests against it
-    unblock with the surviving shards' answer instead of hanging. Worker
-    RPC is serialized through an internal lock, so ``stats()`` from a
-    monitoring thread can never interleave frames with a query in flight;
-    for concurrent *callers*, put a
-    :class:`~repro.api.serving.QueryQueue` or
+    unblock and re-route to the surviving replicas instead of hanging.
+    With ``replication >= 2`` the same loop also re-replicates
+    under-copied shards onto spare workers. Worker RPC is serialized
+    through an internal lock, so ``stats()`` from a monitoring thread can
+    never interleave frames with a query in flight; for concurrent
+    *callers*, put a :class:`~repro.api.serving.QueryQueue` or
     :class:`~repro.api.remote.SimilarityServer` in front — both compose
     unchanged because the coordinator satisfies
     :class:`~repro.api.protocols.KnnService`.
@@ -303,6 +414,7 @@ class ClusterCoordinator(ShardMergeMixin):
         backend: Union[str, SimilarityBackend, object] = "trajcl",
         index: Optional[str] = None,
         *,
+        replication: int = 1,
         backend_kwargs: Optional[Dict] = None,
         index_kwargs: Optional[Dict] = None,
         batch_size: int = 256,
@@ -313,10 +425,18 @@ class ClusterCoordinator(ShardMergeMixin):
         retry_wait: float = 0.1,
         shutdown_workers_on_close: bool = False,
         wire_format: Optional[str] = None,
+        chaos: Union[ChaosConfig, str, None] = None,
+        catchup_limit: int = 4096,
+        rereplicate: bool = True,
     ):
         addresses = [parse_address(worker) for worker in workers]
         if not addresses:
             raise ValueError("workers must name at least one host:port")
+        replication = int(replication)
+        if not 1 <= replication <= len(addresses):
+            raise ValueError(
+                f"replication must be between 1 and the worker count "
+                f"({len(addresses)}), got {replication}")
         if index is not None and not isinstance(index, str):
             raise TypeError(
                 "cluster workers build one index each; pass the index by "
@@ -338,10 +458,27 @@ class ClusterCoordinator(ShardMergeMixin):
         self.heartbeat_timeout = float(heartbeat_timeout)
         self._wire_format = resolve_wire_format(wire_format)
         self.shutdown_workers_on_close = bool(shutdown_workers_on_close)
-        self._shard_ids: List[List[int]] = [[] for _ in addresses]
+        self.replication = replication
+        self._connect_retries = int(connect_retries)
+        self._connect_wait = float(retry_wait)
+        self._catchup_limit = int(catchup_limit)
+        self._rereplicate_enabled = bool(rereplicate)
+        self._rereplications = 0
+        self._chaos = (ChaosConfig.from_spec(chaos)
+                       if isinstance(chaos, str) else chaos)
+        self._chaos_children = 0
+        self._last_snapshot: Optional[str] = None
+        self._route_counter = 0
+        self._num_shards = len(addresses)
+        # shard s lives on workers placement[s] (R distinct, ring layout);
+        # re-replication and rejoin keep this and link.shards in step.
+        self._placement: List[List[int]] = [
+            [(s + j) % len(addresses) for j in range(replication)]
+            for s in range(self._num_shards)]
+        self._shard_ids: List[List[int]] = [[] for _ in range(self._num_shards)]
         # Per-shard id arrays the query path reads; refreshed on add.
         self._shard_id_arrays: List[np.ndarray] = [
-            freeze_shard_ids(()) for _ in addresses]
+            freeze_shard_ids(()) for _ in range(self._num_shards)]
         self._size = 0
         self._closed = False
         self._stop = threading.Event()
@@ -350,26 +487,17 @@ class ClusterCoordinator(ShardMergeMixin):
         # probe (e.g. a server's handler thread) must never interleave
         # frames with a query another thread has in flight.
         self._rpc_lock = threading.Lock()
-        self._links = [_WorkerLink(shard, address)
-                       for shard, address in enumerate(addresses)]
+        self._links = [
+            _WorkerLink(worker, address,
+                        [s for s in range(self._num_shards)
+                         if worker in self._placement[s]])
+            for worker, address in enumerate(addresses)]
 
-        meta, arrays = backend_state(backend)  # wire-portable form
-        join_payload = {
-            "backend": (meta, arrays),
-            "index": index,
-            "index_kwargs": index_kwargs,
-            "service_kwargs": {"batch_size": self._batch_size,
-                               "cache_size": self._cache_size},
-        }
         try:
             for link in self._links:
-                link.transport = SocketTransport.connect(
-                    *link.address, retries=connect_retries,
-                    retry_wait=retry_wait, wire_format=self._wire_format)
-                link.heartbeat = SocketTransport.connect(
-                    *link.address, retries=connect_retries,
-                    retry_wait=retry_wait, wire_format=self._wire_format)
-                request(link.transport, "join", join_payload,
+                link.transport = self._new_transport(link.address)
+                link.heartbeat = self._new_transport(link.address)
+                request(link.transport, "join", self._join_payload(link),
                         who=f"cluster worker {link.label}")
                 link.alive = True
         except (TransportError, RemoteCallError):
@@ -383,28 +511,90 @@ class ClusterCoordinator(ShardMergeMixin):
             self._heartbeat_thread.start()
 
     # ------------------------------------------------------------------
-    # Worker registry / failover
+    # Connections / placement
     # ------------------------------------------------------------------
+    def _new_transport(self, address: Tuple[str, int]):
+        transport = SocketTransport.connect(
+            *address, retries=self._connect_retries,
+            retry_wait=self._connect_wait, wire_format=self._wire_format)
+        if self._chaos is not None and self._chaos.active:
+            # Distinct per-connection seed: the fault schedules of
+            # different links are decorrelated but still reproducible.
+            self._chaos_children += 1
+            transport = ChaosTransport(
+                transport, self._chaos.spawn(self._chaos_children))
+        return transport
+
+    def _join_payload(self, link: _WorkerLink) -> Dict:
+        meta, arrays = backend_state(self.backend)  # wire-portable form
+        return {
+            "backend": (meta, arrays),
+            "index": self.index_name,
+            "index_kwargs": self._index_kwargs,
+            "service_kwargs": {"batch_size": self._batch_size,
+                               "cache_size": self._cache_size},
+            "shards": list(link.shards),
+            "worker_id": link.worker_id,
+        }
+
     @property
     def num_workers(self) -> int:
         return len(self._links)
 
     @property
     def degraded_shards(self) -> List[int]:
-        """Shard indices whose worker has been failed over."""
-        return [link.shard for link in self._links if not link.alive]
+        """Shards with *zero* healthy replicas (their data is unreachable)."""
+        return [s for s in range(self._num_shards) if not self._replicas(s)]
+
+    @property
+    def underreplicated_shards(self) -> List[int]:
+        """Shards still served but below the configured replication."""
+        return [s for s in range(self._num_shards)
+                if 0 < len(self._replicas(s)) < self.replication]
 
     @property
     def shard_sizes(self) -> List[int]:
         with self._rpc_lock:  # atomic with the add() commit
             return [len(ids) for ids in self._shard_ids]
 
+    def _replicas(self, shard: int) -> List[_WorkerLink]:
+        """Alive links hosting ``shard``, in placement order."""
+        return [self._links[w] for w in self._placement[shard]
+                if self._links[w].alive]
+
+    def _pick_replica(self, shard: int,
+                      exclude: Sequence[int] = ()) -> Optional[_WorkerLink]:
+        candidates = [link for link in self._replicas(shard)
+                      if link.worker not in exclude]
+        if not candidates:
+            return None
+        # Rotate reads across replicas so load spreads; deterministic in
+        # the call sequence, and irrelevant to results (replicas hold
+        # byte-identical shard state).
+        return candidates[self._route_counter % len(candidates)]
+
+    def _resolve_link(self, worker) -> _WorkerLink:
+        if isinstance(worker, int):
+            return self._links[worker]
+        for link in self._links:
+            if link.worker_id == worker:
+                return link
+        try:
+            address = parse_address(worker)
+        except (TypeError, ValueError):
+            address = None
+        if address is not None:
+            for link in self._links:
+                if link.address == address:
+                    return link
+        raise KeyError(f"no cluster worker {worker!r}")
+
     def _degrade(self, link: _WorkerLink, reason: str) -> None:
         """Mark a worker dead and sever its channels (idempotent).
 
         Closing the request transport also unblocks any caller currently
         waiting on that worker — its ``recv`` raises instead of hanging,
-        and the merge proceeds over the surviving shards.
+        and the query re-routes to the surviving replicas.
         """
         if not link.alive:
             return
@@ -424,52 +614,94 @@ class ClusterCoordinator(ShardMergeMixin):
                 f"no alive cluster workers ({len(self._links)} degraded)")
         return links
 
+    # ------------------------------------------------------------------
+    # Query routing
+    # ------------------------------------------------------------------
     def _shard_query(self, command, payload):
-        """The :class:`ShardMergeMixin` hook, with failover.
+        """The :class:`ShardMergeMixin` hook, with replica failover.
 
-        Fans the command to every alive worker, drains every reply, and
-        returns the answers from the shards that survived; a worker whose
-        channel fails mid-exchange is degraded in place rather than
-        aborting the query. Worker-*reported* errors (the request itself
-        was bad) still raise after the drain.
+        Routes each logical shard to one healthy replica, groups shards
+        by worker, and re-routes mid-request: a worker whose channel
+        fails between frames is degraded in place and its shards are
+        asked again on the surviving replicas instead of aborting the
+        query. A worker that *answers* but reports an error is degraded
+        only when another replica can serve its shards (differential
+        diagnosis: if the alternative also fails, the request itself was
+        bad and the error propagates without degrading anyone). Returns
+        one ``(global_ids, reply)`` entry per answering shard.
         """
         if self._closed:
             raise RuntimeError("coordinator is closed")
-        # Every worker gets the same request: serialize it once and write
-        # the same bytes to each socket instead of re-encoding per link.
-        encoded = encode_payload((command, payload), self._wire_format)
         with self._rpc_lock:
+            answered = self._routed_query(command, payload)
+            if not answered:
+                raise RuntimeError(
+                    "all cluster workers failed; no shards left to answer")
+            return [(self._shard_id_arrays[shard], answered[shard])
+                    for shard in sorted(answered)]
+
+    def _routed_query(self, command, payload) -> Dict[int, object]:
+        """Route/fail-over loop; caller holds ``_rpc_lock``."""
+        self._route_counter += 1
+        remaining = set(range(self._num_shards))
+        tried: Dict[int, Set[int]] = {s: set() for s in remaining}
+        answered: Dict[int, object] = {}
+        while remaining:
+            plan: Dict[int, List[int]] = {}
+            for shard in sorted(remaining):
+                link = self._pick_replica(shard, tried[shard])
+                if link is None:
+                    if self.replication > 1:
+                        raise ShardLostError(
+                            f"shard {shard} has no healthy replica "
+                            f"(replication={self.replication}); rejoin a "
+                            "worker or wait for re-replication")
+                    # Legacy unreplicated semantics: a lost shard costs
+                    # capacity, the survivors still answer.
+                    remaining.discard(shard)
+                    continue
+                plan.setdefault(link.worker, []).append(shard)
+            if not plan:
+                break
             sent = []
-            for link in self._alive_links():
+            for worker in sorted(plan):
+                link, shards = self._links[worker], plan[worker]
+                for shard in shards:
+                    tried[shard].add(worker)
                 try:
-                    link.transport.send_encoded(encoded)
-                    sent.append(link)
+                    link.transport.send((command, (shards, payload)))
+                    sent.append((link, shards))
                 except TransportError as error:
                     self._degrade(link, f"send failed: {error}")
-            answered, failures = [], []
-            for link in sent:
+            errored = []
+            for link, shards in sent:
                 try:
-                    # repro: allow[C204] draining replies under _rpc_lock IS the frame-interleaving discipline (PR 5); a dead worker unblocks via _degrade closing the socket
                     status, result = link.transport.recv()
                 except TransportError as error:
                     self._degrade(link, f"recv failed: {error}")
                     continue
                 if status != OK:
-                    failures.append(str(result))
+                    errored.append((link, shards, str(result)))
+                    continue
+                for shard in shards:
+                    answered[shard] = result[shard]
+                    remaining.discard(shard)
+            for link, shards, message in errored:
+                if any(self._pick_replica(shard, tried[shard]) is not None
+                       for shard in shards):
+                    # Another replica can answer: the worker demonstrably
+                    # fails commands its peers serve (ping-alive but
+                    # broken) — degrade it and let the loop re-route.
+                    self._degrade(
+                        link, f"{command} failed on worker: {message}")
                 else:
-                    # The id array is immutable (add() replaces it, never
-                    # extends in place), so the merge can walk this
-                    # reference after the lock is gone.
-                    answered.append((self._shard_id_arrays[link.shard],
-                                     result))
-        if failures:
-            raise RemoteCallError("cluster worker failed:\n"
-                                  + "\n".join(failures))
-        if not answered:
-            raise RuntimeError(
-                "all cluster workers failed; no shards left to answer")
+                    raise RemoteCallError(
+                        f"cluster worker {link.label} failed:\n{message}")
         return answered
 
+    # ------------------------------------------------------------------
+    # Heartbeat + background repair
+    # ------------------------------------------------------------------
     def _heartbeat_loop(self) -> None:
         while not self._stop.wait(self.heartbeat_interval):
             for link in list(self._links):
@@ -487,99 +719,377 @@ class ClusterCoordinator(ShardMergeMixin):
                     if status != OK:
                         raise TransportClosed("heartbeat error reply")
                 except TransportError as error:
+                    if self._stop.is_set():
+                        # close() severs the heartbeat channels to wake
+                        # this thread; that hangup is not a worker death.
+                        return
                     self._degrade(link, f"heartbeat failed: {error}")
+            if self._rereplicate_enabled and not self._stop.is_set():
+                try:
+                    self._rereplicate_once()
+                except Exception:
+                    # Background repair must never kill the pinger; link
+                    # failures were already recorded via _degrade.
+                    pass
+
+    def _rereplicate_once(self) -> bool:
+        """Copy one under-replicated shard onto a spare worker.
+
+        One copy per heartbeat sweep keeps the pinger responsive; the
+        next sweep picks up the next shard. Returns True when a copy
+        landed (placement updated), False when there was nothing to do
+        or the attempt failed (the failure degrades the guilty link and
+        a later sweep retries).
+        """
+        if self.replication <= 1 or self._closed:
+            return False
+        with self._rpc_lock:
+            if self._closed:
+                return False
+            for shard in range(self._num_shards):
+                replicas = self._replicas(shard)
+                if not replicas or len(replicas) >= self.replication:
+                    continue
+                hosts = set(self._placement[shard])
+                spares = [link for link in self._links
+                          if link.alive and link.worker not in hosts]
+                if not spares:
+                    continue
+                target = min(spares, key=lambda l: (len(l.shards), l.worker))
+                source = replicas[0]
+                try:
+                    # repro: allow[C204] repair copies must hold _rpc_lock so the exported shard is consistent with the committed ids; bounded by the worker answering or _degrade
+                    exported = request(
+                        source.transport, "export", ([shard], None),
+                        who=f"cluster worker {source.label}")[shard]
+                except TransportError as error:
+                    self._degrade(
+                        source, f"re-replication export failed: {error}")
+                    return False
+                except RemoteCallError:
+                    return False
+                if len(exported) != len(self._shard_ids[shard]):
+                    return False  # torn view; retry next sweep
+                try:
+                    # repro: allow[C204] same repair transaction as the export above; the host/add pair must not interleave with queries
+                    request(target.transport, "host", [shard],
+                            who=f"cluster worker {target.label}")
+                    if exported:
+                        # repro: allow[C204] same repair transaction as the export above
+                        request(target.transport, "add", {shard: exported},
+                                who=f"cluster worker {target.label}")
+                except TransportError as error:
+                    self._degrade(
+                        target, f"re-replication copy failed: {error}")
+                    return False
+                except RemoteCallError:
+                    return False
+                self._placement[shard].append(target.worker)
+                target.shards.append(shard)
+                self._rereplications += 1
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Database
     # ------------------------------------------------------------------
     def add(self, trajectories: Sequence[TrajectoryLike]) -> "ClusterCoordinator":
-        """Round-robin the trajectories across the alive workers.
+        """Deal the trajectories across shards; write-all to the replicas.
 
-        A worker that dies mid-``add`` has its chunk *requeued* onto the
-        survivors (global ids are independent of shard placement, so the
-        reassignment is invisible to queries). A chunk the dead worker
-        stored before crashing is unreachable along with the rest of its
-        shard, so no id can ever be answered twice.
+        Each trajectory goes to the currently-smallest eligible shard
+        (ties broken by shard id — identical to round-robin while shards
+        are balanced, and self-healing when they are not). Every alive
+        replica of a shard receives the write; the chunk commits on the
+        first ack, replicas that missed it get catch-up log entries
+        (replayed on rejoin), and a chunk *no* replica acked is requeued
+        onto the surviving shards — global ids are independent of shard
+        placement, so the reassignment is invisible to queries. A dead
+        worker can never answer again without a state-rebuilding rejoin,
+        so a write it applied without acking can never surface twice.
         """
         if self._closed:
             raise RuntimeError("coordinator is closed")
         batch = [as_points(t) for t in _as_batch(trajectories)]
         if not batch:
             return self
-        targets = self._alive_links()
-        order = [link.shard for link in targets]
-        chunks: Dict[int, Tuple[List[np.ndarray], List[int]]] = {
-            link.shard: ([], []) for link in targets}
+        with self._rpc_lock:
+            self._add_locked(batch)
+        return self
+
+    def _eligible_shards(self) -> List[int]:
+        shards = [s for s in range(self._num_shards) if self._replicas(s)]
+        if not shards:
+            degraded = sum(1 for link in self._links if not link.alive)
+            raise RuntimeError(
+                f"no alive cluster workers ({degraded} degraded)")
+        return shards
+
+    def _add_locked(self, batch: List[np.ndarray]) -> None:
+        eligible = self._eligible_shards()
+        sizes = {s: len(self._shard_ids[s]) for s in eligible}
+        chunks: Dict[int, Tuple[List[np.ndarray], List[int]]] = {}
         for offset, points in enumerate(batch):
-            shard = order[offset % len(order)]
-            chunks[shard][0].append(points)
-            chunks[shard][1].append(self._size + offset)
+            shard = min(eligible, key=lambda s: (sizes[s], s))
+            sizes[shard] += 1
+            chunk = chunks.setdefault(shard, ([], []))
+            chunk[0].append(points)
+            chunk[1].append(self._size + offset)
         while chunks:
-            by_shard = {link.shard: link for link in self._links}
-            pending = [by_shard[shard] for shard in sorted(chunks)]
-            with self._rpc_lock:
-                sent = []
-                for link in pending:
-                    try:
-                        link.transport.send(("add", chunks[link.shard][0]))
-                        sent.append(link)
-                    except TransportError as error:
-                        self._degrade(link, f"send failed: {error}")
-                failed = [link.shard for link in pending if link not in sent]
-                errors = []
-                for link in sent:
-                    try:
-                        # repro: allow[C204] add replies must drain under _rpc_lock so no other RPC interleaves frames mid-commit
-                        status, result = link.transport.recv()
-                    except TransportError as error:
-                        self._degrade(link, f"recv failed: {error}")
-                        failed.append(link.shard)
-                        continue
-                    if status != OK:
-                        errors.append(str(result))
-                        continue
-                    _points, ids = chunks.pop(link.shard)
-                    # Commit the ids AND the size together, still under
-                    # _rpc_lock: a concurrent stats() snapshot must always
-                    # see sum(shard_sizes) == size, even between requeue
-                    # rounds of a partially failed add.
-                    self._shard_ids[link.shard].extend(ids)
-                    self._shard_id_arrays[link.shard] = freeze_shard_ids(
-                        self._shard_ids[link.shard])
-                    self._size += len(ids)
-            if errors:
-                # A worker *executed* add and reported failure: shards now
-                # disagree about the database. Refuse further use rather
-                # than misattribute neighbour ids (same policy as the
-                # process-sharded service).
-                self.close()
-                raise RemoteCallError("cluster worker add failed:\n"
-                                      + "\n".join(errors))
-            if failed:
-                survivors = self._alive_links()  # raises when none remain
+            # (Re)plan against the currently-alive replicas.
+            plan: Dict[int, Dict[int, List[np.ndarray]]] = {}
+            orphans = []
+            for shard in sorted(chunks):
+                replicas = self._replicas(shard)
+                if not replicas:
+                    orphans.append(shard)
+                    continue
+                for link in replicas:
+                    plan.setdefault(link.worker, {})[shard] = chunks[shard][0]
+            if orphans:
+                # Every replica of these shards died before any ack:
+                # requeue the chunks onto shards that can still commit.
                 spilled: List[Tuple[np.ndarray, int]] = []
-                for shard in failed:
+                for shard in orphans:
                     points, ids = chunks.pop(shard)
                     spilled.extend(zip(points, ids))
-                order = [link.shard for link in survivors]
-                requeued: Dict[int, Tuple[List[np.ndarray], List[int]]] = {
-                    link.shard: ([], []) for link in survivors}
-                for n, (points, global_id) in enumerate(spilled):
-                    shard = order[n % len(order)]
-                    requeued[shard][0].append(points)
-                    requeued[shard][1].append(global_id)
-                chunks = {shard: chunk for shard, chunk in requeued.items()
-                          if chunk[1]}
-        return self
+                eligible = self._eligible_shards()
+                sizes = {s: len(self._shard_ids[s]) + len(chunks[s][1])
+                         if s in chunks else len(self._shard_ids[s])
+                         for s in eligible}
+                for points, global_id in spilled:
+                    shard = min(eligible, key=lambda s: (sizes[s], s))
+                    sizes[shard] += 1
+                    chunk = chunks.setdefault(shard, ([], []))
+                    chunk[0].append(points)
+                    chunk[1].append(global_id)
+                continue
+            sent = []
+            for worker in sorted(plan):
+                link = self._links[worker]
+                try:
+                    link.transport.send(("add", plan[worker]))
+                    sent.append(link)
+                except TransportError as error:
+                    self._degrade(link, f"send failed: {error}")
+            acks: Dict[int, int] = {shard: 0 for shard in chunks}
+            errored = []
+            for link in sent:
+                try:
+                    status, result = link.transport.recv()
+                except TransportError as error:
+                    self._degrade(link, f"recv failed: {error}")
+                    continue
+                if status != OK:
+                    errored.append((link, str(result)))
+                    continue
+                for shard in plan[link.worker]:
+                    acks[shard] += 1
+            for link, message in errored:
+                if self.replication > 1:
+                    # The replica *executed* add and failed: its copy may
+                    # be torn. Degrade it — rejoin rebuilds worker state
+                    # from scratch, so the tear cannot survive — and let
+                    # the acked replicas carry the shard.
+                    self._degrade(link, f"add failed on worker: {message}")
+                else:
+                    # Unreplicated: shards now disagree about the
+                    # database. Refuse further use rather than
+                    # misattribute neighbour ids (same policy as the
+                    # process-sharded service).
+                    self.close()
+                    raise RemoteCallError(
+                        "cluster worker add failed:\n" + message)
+            for shard in sorted(chunks):
+                if acks.get(shard, 0) < 1:
+                    continue  # no replica acked; the loop requeues it
+                points, ids = chunks.pop(shard)
+                # Commit the ids AND the size together, still under
+                # _rpc_lock: a concurrent stats() snapshot must always
+                # see sum(shard_sizes) == size, even between requeue
+                # rounds of a partially failed add.
+                # repro: allow[C202] add() wraps this whole method in _rpc_lock; the commit is not reachable any other way
+                self._shard_ids[shard].extend(ids)
+                # repro: allow[C202] same _rpc_lock transaction as the line above
+                self._shard_id_arrays[shard] = freeze_shard_ids(
+                    self._shard_ids[shard])
+                # repro: allow[C202] same _rpc_lock transaction as the line above
+                self._size += len(ids)
+                for worker in self._placement[shard]:
+                    dead = self._links[worker]
+                    if not dead.alive:
+                        self._log_catchup(dead, shard, points, ids)
+
+    def _log_catchup(self, link: _WorkerLink, shard: int,
+                     points: Sequence[np.ndarray],
+                     ids: Sequence[int]) -> None:
+        """Record a committed write a dead replica missed (bounded)."""
+        if shard in link.catchup_overflow:
+            return
+        log = link.catchup.setdefault(shard, deque())
+        for pts, global_id in zip(points, ids):
+            if len(log) >= self._catchup_limit:
+                # Overflow: the tail is no longer complete, so replay is
+                # off the table — drop the log (rejoin falls back to a
+                # replica export or a full-coverage snapshot).
+                link.catchup_overflow.add(shard)
+                link.catchup.pop(shard, None)
+                return
+            log.append((global_id, pts))
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def rejoin(self, worker, address=None, *,
+               snapshot: Optional[str] = None) -> Dict[int, str]:
+        """Bring a degraded worker back and promote it to up.
+
+        ``worker`` is the worker id presented by the restarted process
+        (``"worker-0"``), its index, or its ``host:port``; ``address``
+        points at the replacement when it came back on a different port.
+        Each of the worker's shards is restored from the first available
+        source — a healthy replica (authoritative ``export``/re-``add``),
+        else the latest snapshot (from :meth:`save`, or ``snapshot=``)
+        plus the catch-up log, else the catch-up log alone when it covers
+        the whole shard — and shards that were re-replicated elsewhere in
+        the meantime are shed from the assignment. Returns
+        ``{shard: source}`` with source one of ``"replica"``,
+        ``"snapshot"``, ``"catchup"``; raises
+        :class:`~repro.api.serving.ShardLostError` when a shard cannot be
+        reconstructed from any source.
+        """
+        if self._closed:
+            raise RuntimeError("coordinator is closed")
+        link = self._resolve_link(worker)
+        with self._rpc_lock:
+            if link.alive:
+                raise ValueError(
+                    f"worker {link.worker_id} ({link.label}) is already up")
+            if address is not None:
+                link.address = parse_address(address)
+            # Shards re-replicated onto spares while this worker was down
+            # are fully covered; shed them instead of hosting extras.
+            for shard in list(link.shards):
+                if len(self._replicas(shard)) >= self.replication:
+                    link.shards.remove(shard)
+                    self._placement[shard].remove(link.worker)
+                    link.catchup.pop(shard, None)
+                    link.catchup_overflow.discard(shard)
+            transport = heartbeat = None
+            try:
+                transport = self._new_transport(link.address)
+                heartbeat = self._new_transport(link.address)
+                # repro: allow[C204] the rejoin handshake+restore is one transaction under _rpc_lock: queries must not observe a half-restored replica
+                request(transport, "join", self._join_payload(link),
+                        who=f"cluster worker {link.label}")
+                restored = {}
+                for shard in list(link.shards):
+                    restored[shard] = self._restore_shard(
+                        link, shard, transport, snapshot)
+                link.transport = transport
+                link.heartbeat = heartbeat
+                link.alive = True
+                link.reason = None
+                return restored
+            except BaseException:
+                for channel in (transport, heartbeat):
+                    if channel is not None:
+                        try:
+                            channel.close()
+                        except Exception:
+                            pass
+                raise
+
+    def _restore_shard(self, link: _WorkerLink, shard: int, transport,
+                       snapshot: Optional[str]) -> str:
+        """Refill one shard on a rejoining worker; caller holds _rpc_lock."""
+        want = self._shard_ids[shard]
+        while True:
+            source = self._pick_replica(shard)  # link itself is not up yet
+            if source is None:
+                break
+            try:
+                exported = request(
+                    source.transport, "export", ([shard], None),
+                    who=f"cluster worker {source.label}")[shard]
+            except TransportError as error:
+                # A nominally-alive replica that died unnoticed (no query
+                # or heartbeat touched it since): degrade it and try the
+                # next one rather than failing the rejoin.
+                self._degrade(source, f"rejoin export failed: {error}")
+                continue
+            if len(exported) != len(want):
+                raise RuntimeError(
+                    f"replica of shard {shard} exported {len(exported)} "
+                    f"trajectories but the coordinator owns {len(want)} ids")
+            if exported:
+                request(transport, "add", {shard: exported},
+                        who=f"cluster worker {link.label}")
+            link.catchup.pop(shard, None)
+            link.catchup_overflow.discard(shard)
+            return "replica"
+        tail = list(link.catchup.get(shard, ()))
+        tail_usable = shard not in link.catchup_overflow
+        restored_ids: List[int] = []
+        restored_points: List[np.ndarray] = []
+        directory = snapshot if snapshot is not None else self._last_snapshot
+        used_snapshot = False
+        if directory is not None:
+            loaded = self._load_snapshot_shard(directory, shard)
+            if loaded is not None:
+                snap_ids, snap_points = loaded
+                if snap_ids == list(want[:len(snap_ids)]):
+                    restored_ids = snap_ids
+                    restored_points = snap_points
+                    used_snapshot = bool(snap_ids)
+        # The snapshot may already contain adds the catch-up log also
+        # recorded (it exports live replicas); replay only the ids the
+        # snapshot does not cover.
+        remaining_want = list(want[len(restored_ids):])
+        tail_map = {global_id: pts for global_id, pts in tail}
+        if remaining_want:
+            if not (tail_usable
+                    and all(g in tail_map for g in remaining_want)):
+                raise ShardLostError(
+                    f"shard {shard} has no healthy replica and the "
+                    f"snapshot/catch-up log cannot reconstruct it "
+                    f"({len(restored_ids)} of {len(want)} trajectories "
+                    "recoverable); restore from an older snapshot or "
+                    "accept the loss")
+            restored_ids += remaining_want
+            restored_points += [tail_map[g] for g in remaining_want]
+        if restored_points:
+            request(transport, "add", {shard: restored_points},
+                    who=f"cluster worker {link.label}")
+        link.catchup.pop(shard, None)
+        link.catchup_overflow.discard(shard)
+        return "snapshot" if used_snapshot else "catchup"
+
+    @staticmethod
+    def _load_snapshot_shard(directory: str, shard: int):
+        path = os.path.join(directory, f"shard_{shard:04d}.npz")
+        if not os.path.exists(path):
+            return None
+        with np.load(path) as archive:
+            if ("format_version" not in archive.files
+                    or int(archive["format_version"])
+                    != SNAPSHOT_FORMAT_VERSION):
+                return None
+            ids = [int(g) for g in archive["ids"]]
+            points = [archive[f"traj_{j}"].copy() for j in range(len(ids))]
+        return ids, points
 
     # ``pairwise``/``knn``/``__len__`` come from ShardMergeMixin.
 
     def stats(self) -> Dict:
-        """Cluster health on the shared key set, with per-shard breakdown.
+        """Cluster health on the shared key set, with per-shard replicas.
 
-        Degraded workers appear in ``"degraded"`` and as
-        ``alive: False`` entries under ``"shards"`` (with the failure
-        reason); cache counters aggregate over the alive workers.
+        ``"degraded"`` lists shards with *zero* healthy replicas (their
+        data is unreachable), ``"underreplicated"`` those still served
+        but below the replication factor; each ``"shards"`` entry carries
+        its replica set (worker, address, alive, failure reason). Worker-
+        level detail (hosted shards, catch-up backlog, cache counters)
+        lives under ``"worker_links"``; cache and transport counters
+        aggregate over the alive workers.
         """
         per_worker: Dict[int, Dict] = {}
         if not self._closed:
@@ -589,7 +1099,7 @@ class ClusterCoordinator(ShardMergeMixin):
                         continue
                     try:
                         # repro: allow[C204] per-worker stats RPC must hold _rpc_lock to keep frames paired; bounded by the worker answering or _degrade
-                        per_worker[link.shard] = request(
+                        per_worker[link.worker] = request(
                             link.transport, "stats",
                             who=f"cluster worker {link.label}")
                     except TransportError as error:
@@ -599,24 +1109,57 @@ class ClusterCoordinator(ShardMergeMixin):
         with self._rpc_lock:  # one atomic snapshot of the bookkeeping
             shard_sizes = [len(ids) for ids in self._shard_ids]
             size = self._size
+            placement = [list(hosts) for hosts in self._placement]
             transport_stats = merge_transport_stats(
                 [link.transport.stats() for link in self._links
                  if link.alive and link.transport is not None])
+            chaos_stats = self._chaos_stats() if self._chaos else None
         shards = []
-        for link in self._links:
+        for shard in range(self._num_shards):
+            replicas = []
+            for worker in placement[shard]:
+                link = self._links[worker]
+                replica: Dict = {"worker": worker,
+                                 "worker_id": link.worker_id,
+                                 "address": link.label,
+                                 "alive": link.alive}
+                if not link.alive and link.reason:
+                    replica["reason"] = link.reason
+                replicas.append(replica)
+            healthy = sum(1 for replica in replicas if replica["alive"])
             entry: Dict = {
-                "shard": link.shard,
+                "shard": shard,
+                "size": shard_sizes[shard],
+                "alive": healthy > 0,
+                "healthy_replicas": healthy,
+                "replicas": replicas,
+            }
+            if replicas:
+                entry["address"] = replicas[0]["address"]
+            if healthy == 0:
+                reasons = [replica.get("reason") for replica in replicas
+                           if replica.get("reason")]
+                if reasons:
+                    entry["reason"] = "; ".join(reasons)
+            shards.append(entry)
+        worker_links = []
+        for link in self._links:
+            entry = {
+                "worker": link.worker,
+                "worker_id": link.worker_id,
                 "address": link.label,
-                "size": shard_sizes[link.shard],
                 "alive": link.alive,
+                "shards": sorted(link.shards),
             }
             if not link.alive:
                 entry["reason"] = link.reason
-            worker = per_worker.get(link.shard)
-            if worker is not None and "cache" in worker:
-                entry["cache"] = worker["cache"]
-            shards.append(entry)
-        return {
+                entry["catchup"] = sum(
+                    len(log) for log in link.catchup.values())
+            info = per_worker.get(link.worker)
+            if info is not None and "cache" in info:
+                entry["cache"] = info["cache"]
+            worker_links.append(entry)
+        result = {
             "type": type(self).__name__,
             "backend": self.backend.name,
             "kind": self.backend.kind,
@@ -624,14 +1167,36 @@ class ClusterCoordinator(ShardMergeMixin):
             "size": size,
             "workers": len(self._links),
             "alive_workers": sum(1 for link in self._links if link.alive),
-            "degraded": self.degraded_shards,
+            "replication": self.replication,
+            "degraded": [entry["shard"] for entry in shards
+                         if entry["healthy_replicas"] == 0],
+            "underreplicated": [
+                entry["shard"] for entry in shards
+                if 0 < entry["healthy_replicas"] < self.replication],
+            "rereplications": self._rereplications,
             "shard_sizes": shard_sizes,
             "shards": shards,
+            "worker_links": worker_links,
             "wire_format": self._wire_format,
             "transport": transport_stats,
             "cache": merge_cache_counters(
-                [entry["cache"] for entry in shards if "cache" in entry]),
+                [entry["cache"] for entry in worker_links
+                 if "cache" in entry]),
         }
+        if chaos_stats is not None:
+            result["chaos"] = chaos_stats
+        return result
+
+    def _chaos_stats(self) -> Dict:
+        total = {"drops": 0, "truncations": 0, "latency": 0, "kills": 0,
+                 "operations": 0}
+        for link in self._links:
+            for transport in (link.transport, link.heartbeat):
+                if isinstance(transport, ChaosTransport):
+                    for key, value in transport.injected.items():
+                        total[key] += value
+                    total["operations"] += transport.operations
+        return total
 
     # ------------------------------------------------------------------
     # Sharded snapshots
@@ -641,9 +1206,12 @@ class ClusterCoordinator(ShardMergeMixin):
 
         Layout: ``shard_NNNN.npz`` (trajectories + their global ids),
         ``backend.npz`` (backend weights) and ``manifest.json`` (format
-        version, shard count, backend config, index kind). Refuses to
-        snapshot a degraded cluster — the lost shard's trajectories would
-        silently vanish from the restored database.
+        version, shard count, backend config, index kind). Each shard is
+        exported from one healthy replica, so an *under-replicated*
+        cluster still snapshots; a cluster with a *lost* shard (zero
+        healthy replicas) refuses — the snapshot would silently drop its
+        trajectories. The directory is remembered as the latest snapshot
+        for :meth:`rejoin`'s snapshot-restore path.
         """
         degraded = self.degraded_shards
         if degraded:
@@ -651,9 +1219,9 @@ class ClusterCoordinator(ShardMergeMixin):
                 f"cannot snapshot a degraded cluster (lost shards "
                 f"{degraded}); the snapshot would drop their trajectories")
         exports = self._shard_query("export", None)
-        if len(exports) != len(self._links):
+        if len(exports) != self._num_shards:
             raise RuntimeError(
-                "a worker was lost while exporting; snapshot aborted")
+                "a shard was lost while exporting; snapshot aborted")
         os.makedirs(directory, exist_ok=True)
         shard_files = []
         for shard, (ids, trajectories) in enumerate(exports):
@@ -678,7 +1246,8 @@ class ClusterCoordinator(ShardMergeMixin):
             "format_version": SNAPSHOT_FORMAT_VERSION,
             "kind": _SNAPSHOT_KIND,
             "size": self._size,
-            "shards": len(self._links),
+            "shards": self._num_shards,
+            "replication": self.replication,
             "shard_files": shard_files,
             "shard_sizes": self.shard_sizes,
             "backend": backend_meta,
@@ -689,6 +1258,7 @@ class ClusterCoordinator(ShardMergeMixin):
         }
         with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
             json.dump(manifest, handle, indent=2)
+        self._last_snapshot = os.path.abspath(directory)
 
     @classmethod
     def load(cls, directory: str,
@@ -697,9 +1267,11 @@ class ClusterCoordinator(ShardMergeMixin):
         """Restore a cluster from :meth:`save` onto ``workers``.
 
         The worker count may differ from the snapshot's: trajectories are
-        reassembled in global-id order and re-dealt round-robin, so ids —
-        and therefore every kNN answer over an exact index — are
-        preserved bit-for-bit regardless of the new shard layout.
+        reassembled in global-id order and re-dealt, so ids — and
+        therefore every kNN answer over an exact index — are preserved
+        bit-for-bit regardless of the new shard layout. The snapshot's
+        replication factor carries over (clamped to the new worker
+        count) unless overridden.
         """
         with open(os.path.join(directory, MANIFEST_NAME)) as handle:
             manifest = json.load(handle)
@@ -715,6 +1287,9 @@ class ClusterCoordinator(ShardMergeMixin):
         kwargs.setdefault("index_kwargs", manifest.get("index_kwargs"))
         kwargs.setdefault("batch_size", manifest.get("batch_size", 256))
         kwargs.setdefault("cache_size", manifest.get("cache_size", 4096))
+        kwargs.setdefault("replication",
+                          min(int(manifest.get("replication", 1)),
+                              len(list(workers))))
         coordinator = cls(workers, backend=backend,
                           index=manifest.get("index"), **kwargs)
         try:
@@ -743,9 +1318,13 @@ class ClusterCoordinator(ShardMergeMixin):
         """Detach from the workers (idempotent).
 
         By default the workers keep running (``leave`` clears this
-        coordinator's shard so a future one can ``join`` fresh); with
+        coordinator's shards so a future one can ``join`` fresh); with
         ``shutdown_workers=True`` — or ``shutdown_workers_on_close`` set
-        at construction — each worker is told to exit instead.
+        at construction — each worker is told to exit instead, including
+        a best-effort fresh connection to workers that were degraded but
+        whose process may still be running. A worker that died after
+        being degraded can neither hang the cascade nor leak a
+        transport error out of it.
         """
         if self._closed:
             return
@@ -753,22 +1332,30 @@ class ClusterCoordinator(ShardMergeMixin):
         if shutdown_workers is None:
             shutdown_workers = self.shutdown_workers_on_close
         self._stop.set()
+        # Sever the heartbeat channels first: the pinger may be blocked
+        # in a poll() of up to heartbeat_timeout, and a closed socket
+        # wakes it now (its error path sees _stop and returns instead of
+        # degrading anyone).
+        for link in self._links:
+            if link.heartbeat is not None:
+                try:
+                    link.heartbeat.close()
+                except Exception:
+                    pass
         if self._heartbeat_thread is not None:
-            self._heartbeat_thread.join(timeout=self.heartbeat_timeout + 1.0)
+            self._heartbeat_thread.join(timeout=2.0)
         # Bounded wait for any in-flight RPC; a wedged exchange must delay
         # close, never block it.
         acquired = self._rpc_lock.acquire(timeout=5.0)
         try:
             for link in self._links:
-                if link.alive and link.transport is not None:
-                    for command in (("shutdown",) if shutdown_workers
-                                    else ("leave", "stop")):
-                        try:
-                            link.transport.send((command, None))
-                            if link.transport.poll(1.0):
-                                link.transport.recv()
-                        except TransportError:
-                            break
+                try:
+                    self._farewell(link, shutdown_workers)
+                except Exception:
+                    # A worker that died mid-farewell (FrameError, reset,
+                    # anything) must not break the cascade for the links
+                    # behind it.
+                    pass
                 for transport in (link.transport, link.heartbeat):
                     if transport is not None:
                         try:
@@ -778,6 +1365,31 @@ class ClusterCoordinator(ShardMergeMixin):
         finally:
             if acquired:
                 self._rpc_lock.release()
+
+    def _farewell(self, link: _WorkerLink, shutdown_workers: bool) -> None:
+        """Best-effort goodbye to one worker; all failures stay inside."""
+        transport = link.transport if link.alive else None
+        if transport is None and shutdown_workers:
+            # A degraded worker may still be running (only its link
+            # died); a cascade shutdown owes it a fresh, short-lived
+            # connection attempt.
+            try:
+                transport = SocketTransport.connect(
+                    *link.address, timeout=1.0,
+                    wire_format=self._wire_format)
+            except (TransportError, OSError):
+                return
+            link.transport = transport  # closed by close()'s sweep
+        if transport is None:
+            return
+        for command in (("shutdown",) if shutdown_workers
+                        else ("leave", "stop")):
+            try:
+                transport.send((command, None))
+                if transport.poll(1.0):
+                    transport.recv()
+            except Exception:
+                break
 
     def __enter__(self) -> "ClusterCoordinator":
         return self
@@ -795,6 +1407,6 @@ class ClusterCoordinator(ShardMergeMixin):
         alive = sum(1 for link in self._links if link.alive)
         return (
             f"ClusterCoordinator(backend={self.backend.name!r}, "
-            f"index={self.index_name!r}, workers={alive}/{len(self._links)} "
-            f"alive, size={self._size})"
+            f"index={self.index_name!r}, replication={self.replication}, "
+            f"workers={alive}/{len(self._links)} alive, size={self._size})"
         )

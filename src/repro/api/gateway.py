@@ -69,7 +69,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .serving import DeadlineExceededError, QueueFullError
+from .serving import DeadlineExceededError, QueueFullError, ShardLostError
+from .transport import TransportError
 
 __all__ = [
     "SimilarityGateway",
@@ -445,6 +446,16 @@ class SimilarityGateway:
             status = 429
             body = json.dumps({"error": str(error)}).encode()
             content_type, headers = "application/json", {"Retry-After": "1"}
+        except (ShardLostError, TransportError) as error:
+            # Part of the database is unreachable (every replica of a
+            # shard down, or the backing connection died): that is a
+            # service-availability condition, not a caller error or a
+            # gateway bug — 503 so load balancers retry elsewhere while
+            # rejoin/re-replication repairs the cluster.
+            status = 503
+            body = json.dumps(
+                {"error": f"shard unavailable: {error}"}).encode()
+            content_type, headers = "application/json", {"Retry-After": "1"}
         except Exception:
             status = 500
             body = json.dumps(
@@ -675,11 +686,32 @@ class SimilarityGateway:
             return self._json_status(
                 503, {"status": "error", "error": str(error)})
         degraded = list(stats.get("degraded") or [])
+        underreplicated = list(stats.get("underreplicated") or [])
+        if degraded:
+            status = "degraded"
+        elif underreplicated:
+            # Still serving every shard, just with less headroom: the
+            # probe stays green (a 503 would pull a healthy gateway from
+            # rotation) but the report says repair is in progress.
+            status = "underreplicated"
+        else:
+            status = "ok"
         payload = {
-            "status": "degraded" if degraded else "ok",
+            "status": status,
             "size": stats.get("size"),
             "degraded": degraded,
         }
+        if "replication" in stats:
+            payload["replication"] = stats["replication"]
+            payload["underreplicated"] = underreplicated
+        replicas = [
+            {"shard": entry.get("shard"),
+             "healthy_replicas": entry.get("healthy_replicas"),
+             "alive": entry.get("alive")}
+            for entry in stats.get("shards") or []
+            if isinstance(entry, dict) and "healthy_replicas" in entry]
+        if replicas:
+            payload["shards"] = replicas
         return self._json_status(503 if degraded else 200, payload)
 
     def _json_status(self, status: int, payload: Dict):
@@ -784,6 +816,17 @@ class SimilarityGateway:
             shard = entry.get("shard")
             up = 0 if shard in degraded else 1
             lines.append(f'repro_gateway_shard_up{{shard="{shard}"}} {up}')
+
+        replicated = [entry for entry in shards or []
+                      if isinstance(entry, dict)
+                      and "healthy_replicas" in entry]
+        if replicated:
+            header("repro_gateway_shard_replicas", "gauge",
+                   "Healthy replicas per shard (replicated clusters).")
+            for entry in replicated:
+                lines.append(f'repro_gateway_shard_replicas'
+                             f'{{shard="{entry.get("shard")}"}} '
+                             f'{int(entry["healthy_replicas"])}')
 
         header("repro_gateway_uptime_seconds", "gauge",
                "Seconds since the gateway started.")

@@ -30,8 +30,10 @@ pickled numpy arrays, so a remote ``knn`` returns bit-identical
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -43,6 +45,8 @@ from .transport import (
     RemoteCallError,
     ServiceNode,
     SocketTransport,
+    TransientError,
+    TransportClosed,
     TransportError,
     encode_frame,
     decode_payload,
@@ -393,6 +397,13 @@ class RemoteSimilarityClient:
     service directly — so it drops into anything written against the
     local services, including :class:`~repro.api.serving.QueryQueue`.
     Thread-safe: one request/response exchange at a time per client.
+
+    A connection reset *between* requests (the server restarted, an idle
+    socket was reaped, a chaos drop) is retried once transparently on a
+    fresh connection after a jittered backoff; ``stats()["retries"]``
+    counts these. A failure after part of a reply arrived
+    (:class:`~repro.api.transport.FrameError`) is never retried — the
+    exchange's outcome is unknowable, so it propagates.
     """
 
     def __init__(self, address: Union[str, Tuple[str, int]],
@@ -402,6 +413,10 @@ class RemoteSimilarityClient:
                  wire_format: Optional[str] = None):
         self.address = parse_address(address, port)
         self._lock = threading.Lock()
+        self._timeout = timeout
+        self._retry_wait = float(retry_wait)
+        self._wire_format = wire_format
+        self._retries = 0
         # Bounded connect retry with backoff: a client launched alongside
         # the server no longer races its bind (a --ready-file only helps
         # launchers on the same machine).
@@ -420,10 +435,30 @@ class RemoteSimilarityClient:
         with self._lock:
             if self._closed:
                 raise RuntimeError("client is closed")
-            # repro: allow[C204] the blocking client serializes whole call/response pairs under _lock by design; AsyncSimilarityClient is the non-blocking alternative
-            return request(self._transport, command, payload,
-                           who=f"similarity server {self.address[0]}:"
-                               f"{self.address[1]}")
+            who = (f"similarity server {self.address[0]}:"
+                   f"{self.address[1]}")
+            try:
+                # repro: allow[C204] the blocking client serializes whole call/response pairs under _lock by design; AsyncSimilarityClient is the non-blocking alternative
+                return request(self._transport, command, payload, who=who)
+            except (TransportClosed, TransientError):
+                # The exchange died between frames: no reply byte was
+                # consumed, so repeating it on a fresh connection is safe.
+                # FrameError (a *partial* reply) deliberately falls
+                # through — retrying a half-read exchange could pair this
+                # request with the previous reply.
+                self._retries += 1
+                try:
+                    self._transport.close()
+                except Exception:
+                    pass
+                # Jittered backoff so a fleet of clients does not
+                # reconnect in lockstep against a restarting server.
+                time.sleep(self._retry_wait * (1.0 + random.random()))  # repro: allow[C204] single bounded backoff before the one retry; the client lock serializes whole exchanges by design
+                self._transport = SocketTransport.connect(
+                    *self.address, timeout=self._timeout,
+                    wire_format=self._wire_format)
+                # repro: allow[C204] the one retry of the exchange above, same single-exchange discipline
+                return request(self._transport, command, payload, who=who)
 
     # ------------------------------------------------------------------
     # KnnService surface
@@ -461,8 +496,14 @@ class RemoteSimilarityClient:
         return int(self._call("len"))
 
     def stats(self) -> Dict:
-        """The server's service metadata plus its served-request count."""
-        return self._call("stats")
+        """The server's service metadata plus its served-request count.
+
+        ``"retries"`` is client-side: how many exchanges this client
+        transparently repeated after a transient connection reset.
+        """
+        info = dict(self._call("stats"))
+        info["retries"] = self._retries
+        return info
 
     # ------------------------------------------------------------------
     # Lifecycle

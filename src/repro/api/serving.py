@@ -71,8 +71,8 @@ from .transport import (
 _as_batch = SimilarityService._as_batch
 
 __all__ = ["ShardedSimilarityService", "QueryQueue", "QueueStats",
-           "QueueFullError", "DeadlineExceededError", "ShardMergeMixin",
-           "merge_cache_counters"]
+           "QueueFullError", "DeadlineExceededError", "ShardLostError",
+           "ShardMergeMixin", "merge_cache_counters"]
 
 
 class QueueFullError(RuntimeError):
@@ -91,6 +91,20 @@ class DeadlineExceededError(RuntimeError):
     The flush thread drops expired entries instead of computing results
     for callers that have already given up; the waiting future receives
     this exception (the HTTP gateway maps it to ``504``).
+    """
+
+
+class ShardLostError(RuntimeError):
+    """Every replica of a logical shard is down: its data is unreachable.
+
+    Raised by a *replicated* cluster (``replication >= 2``) instead of
+    silently answering from the surviving shards — a replicated caller
+    asked for durability, so a shrunken answer would be a lie. An
+    unreplicated cluster keeps the legacy capacity-loss semantics
+    (degraded shards are skipped and reported via ``stats()``). The
+    HTTP gateway maps this to ``503``; the shard becomes reachable
+    again through :meth:`~repro.api.cluster.ClusterCoordinator.rejoin`
+    or background re-replication.
     """
 
 
@@ -194,7 +208,10 @@ class ShardMergeMixin:
       reachable shard and return ``[(global_ids, reply), ...]`` for the
       shards that answered, raising only when none can. A subclass with
       failover (the cluster coordinator) may return fewer entries than it
-      has shards; the merge then covers whatever survived.
+      has shards; the merge then covers whatever survived. A subclass
+      with *replicated* shards must return at most one entry per logical
+      shard — whichever replica answered — since a duplicated id pool
+      would break the bit-exactness certificate.
     """
 
     def pairwise(

@@ -49,6 +49,7 @@ from . import wire
 __all__ = [
     "TransportError",
     "TransportClosed",
+    "TransientError",
     "FrameError",
     "RemoteCallError",
     "Transport",
@@ -107,6 +108,19 @@ class TransportError(ConnectionError):
 
 class TransportClosed(TransportError):
     """The peer closed the connection (EOF, broken pipe)."""
+
+
+class TransientError(TransportError):
+    """A failure that is expected to clear on retry (reset, injected drop).
+
+    The chaos harness raises this for injected connection drops, and
+    retry layers (the remote client's single retry, the coordinator's
+    replica failover) treat it exactly like :class:`TransportClosed`:
+    the exchange died *between* frames, so repeating it elsewhere — or
+    on a fresh connection — is safe. Contrast :class:`FrameError`,
+    which means a reply was partially consumed and must never be
+    retried blindly.
+    """
 
 
 class FrameError(TransportError):

@@ -458,10 +458,12 @@ def cmd_cluster(args) -> int:
     workers = [w.strip() for w in args.workers.split(",") if w.strip()]
     cluster = ClusterCoordinator(
         workers, backend=backend, index=index, index_kwargs=index_kwargs,
+        replication=args.replication,
         heartbeat_interval=args.heartbeat_interval,
         heartbeat_timeout=args.heartbeat_timeout,
         connect_retries=args.connect_retries, retry_wait=args.retry_wait,
         shutdown_workers_on_close=args.shutdown_workers,
+        chaos=args.chaos,
     )
     queue = None
     server = None
@@ -476,9 +478,11 @@ def cmd_cluster(args) -> int:
                                   max_requests=args.max_requests)
         install_signal_shutdown(server.shutdown)
         host, port = server.address
+        chaos_note = f", chaos '{args.chaos}'" if args.chaos else ""
         print(f"cluster front-end: backend {backend.name}, "
               f"{len(database)} trajectories over {len(workers)} "
-              f"worker(s), serving on {host}:{port}", flush=True)
+              f"worker(s) (replication={args.replication}{chaos_note}), "
+              f"serving on {host}:{port}", flush=True)
         if args.ready_file:
             with open(args.ready_file, "w") as handle:
                 handle.write(f"{host}:{port}\n")
@@ -1176,6 +1180,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shutdown-workers", action="store_true",
                    help="tell the workers to exit when this front-end "
                         "shuts down")
+    p.add_argument("--replication", type=int, default=1,
+                   help="replicas per logical shard (N-way replication: a "
+                        "worker death costs capacity, never data)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="deterministic fault injection on every worker "
+                        "link, e.g. 'seed=7,drop=0.05,latency=0.1:20,"
+                        "kill=100' (smoke/soak testing)")
     p.add_argument("--train-epochs", type=int, default=1,
                    help="training epochs for learned non-trajcl backends")
     p.add_argument("--seed", type=int, default=0)

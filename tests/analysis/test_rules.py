@@ -198,6 +198,37 @@ R307_GOOD = """
         return pickle.dumps(array)
 """
 
+R308_BAD = """
+    import time
+
+    def fetch(client):
+        for _ in range(5):
+            try:
+                return client.get()
+            except ConnectionError:
+                time.sleep(0.1)
+"""
+R308_GOOD = """
+    import time
+
+    def fetch(client):
+        delay = 0.1
+        for _ in range(5):
+            try:
+                return client.get()
+            except ConnectionError:
+                time.sleep(delay)
+                delay *= 2
+"""
+# A polling loop sleeps a constant but retries nothing: not a finding.
+R308_POLL = """
+    import time
+
+    def wait_ready(path):
+        while not path.exists():
+            time.sleep(0.1)
+"""
+
 GOLDEN = [
     ("C202", C202_BAD, C202_GOOD),
     ("C202", C202_MUTATOR_BAD, None),
@@ -210,6 +241,8 @@ GOLDEN = [
     ("R305", R305_BAD, R305_GOOD),
     ("R306", R306_BAD, R306_GOOD),
     ("R307", R307_BAD, R307_GOOD),
+    ("R308", R308_BAD, R308_GOOD),
+    ("R308", R308_BAD, R308_POLL),
 ]
 
 

@@ -265,7 +265,7 @@ class TestWorkerProtocol:
         transport = SocketTransport.connect(*workers[0].address)
         try:
             with pytest.raises(RemoteCallError, match="join"):
-                request(transport, "knn", ([trajectories[0]], 1))
+                request(transport, "knn", ([0], ([trajectories[0]], 1)))
             # ping and len answer without a shard; the connection survived
             # the error above.
             assert request(transport, "ping")["joined"] is False
@@ -402,3 +402,318 @@ class TestStatsLockScope:
             final = cluster.stats()
             assert final["size"] == 2 + 20
             assert sum(final["shard_sizes"]) == final["size"]
+
+
+# ----------------------------------------------------------------------
+# Replication + recovery (PR 9)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def trio():
+    three = [ShardWorker() for _ in range(3)]
+    yield three
+    for worker in three:
+        worker.close()
+
+
+class TestReplication:
+    def test_replication_parity_and_kill_mid_traffic(self, trio,
+                                                     single_service,
+                                                     trajectories):
+        """The headline: replication=2, a worker killed mid-traffic, and
+        every query (before, during, after the death) answers bit-exact —
+        zero failed queries, zero shrunken answers."""
+        with make_cluster(trio, replication=2) as cluster:
+            cluster.add(trajectories)
+            expected = single_service.knn(trajectories[:4], k=5, exclude=1)
+            failures = 0
+            for round_number in range(12):
+                if round_number == 5:
+                    trio[1].close()  # abrupt, mid-traffic
+                try:
+                    got = cluster.knn(trajectories[:4], k=5, exclude=1)
+                except Exception:
+                    failures += 1
+                    continue
+                assert got[0].tobytes() == expected[0].tobytes()
+                assert got[1].tobytes() == expected[1].tobytes()
+            assert failures == 0
+            stats = cluster.stats()
+        assert stats["alive_workers"] == 2
+        assert stats["degraded"] == []  # every shard still has a replica
+        assert set(stats["underreplicated"]) == {0, 1}
+
+    def test_write_all_replicas_hold_identical_shards(self, trio,
+                                                      trajectories):
+        with make_cluster(trio, replication=2) as cluster:
+            cluster.add(trajectories)
+            stats = cluster.stats()
+            assert stats["replication"] == 2
+            # Each worker hosts two of the three logical shards, and the
+            # per-worker totals cover every shard twice.
+            hosted = sum(len(entry["shards"])
+                         for entry in stats["worker_links"])
+            assert hosted == 2 * 3
+            for entry in stats["shards"]:
+                assert entry["healthy_replicas"] == 2
+                assert len(entry["replicas"]) == 2
+
+    def test_degraded_add_logs_catchup_and_rejoin_replays(
+            self, trio, single_service, trajectories):
+        with make_cluster(trio, replication=2) as cluster:
+            cluster.add(trajectories[:12])
+            trio[2].close()
+            cluster.knn(trajectories[0], k=1)  # notice the death
+            cluster.add(trajectories[12:])    # committed on survivors
+            stats = cluster.stats()
+            dead = [entry for entry in stats["worker_links"]
+                    if not entry["alive"]]
+            assert len(dead) == 1 and dead[0]["catchup"] >= 0
+            replacement = ShardWorker()
+            try:
+                restored = cluster.rejoin("worker-2",
+                                          address=replacement.address)
+                assert set(restored) == set(dead[0]["shards"])
+                assert set(restored.values()) <= {"replica"}
+                stats = cluster.stats()
+                assert stats["degraded"] == []
+                assert stats["underreplicated"] == []
+                expected = single_service.knn(trajectories[:3], k=6)
+                got = cluster.knn(trajectories[:3], k=6)
+                assert got[0].tobytes() == expected[0].tobytes()
+                assert got[1].tobytes() == expected[1].tobytes()
+            finally:
+                replacement.close()
+
+    def test_lost_shard_raises_shard_lost_error(self, trio, trajectories):
+        from repro.api import ShardLostError
+
+        with make_cluster(trio, replication=2) as cluster:
+            cluster.add(trajectories)
+            # shard 1 lives on workers 1 and 2 (ring placement).
+            trio[1].close()
+            trio[2].close()
+            with pytest.raises(ShardLostError, match="shard"):
+                cluster.knn(trajectories[0], k=1)
+            stats = cluster.stats()
+            assert 1 in stats["degraded"]
+
+    def test_snapshot_plus_catchup_restores_a_lost_shard(
+            self, trio, single_service, trajectories, tmp_path):
+        with make_cluster(trio, replication=2) as cluster:
+            cluster.add(trajectories[:12])
+            cluster.save(str(tmp_path / "snap"))
+            trio[1].close()
+            cluster.knn(trajectories[0], k=1)  # notice the death
+            cluster.add(trajectories[12:])     # post-snapshot adds
+            trio[2].close()                    # shard 1 now has no replica
+            replacement = ShardWorker()
+            try:
+                restored = cluster.rejoin(1, address=replacement.address)
+                # shard 1 came back from the snapshot prefix + the
+                # catch-up tail; worker 1's other shard from worker 0.
+                assert restored[1] in ("snapshot", "catchup")
+                got = cluster.knn(trajectories[:3], k=5)
+                expected = single_service.knn(trajectories[:3], k=5)
+                assert got[0].tobytes() == expected[0].tobytes()
+                assert got[1].tobytes() == expected[1].tobytes()
+            finally:
+                replacement.close()
+
+    def test_background_rereplication_heals_the_copy_count(
+            self, single_service, trajectories):
+        four = [ShardWorker() for _ in range(4)]
+        try:
+            with ClusterCoordinator([w.address for w in four],
+                                    backend="hausdorff", replication=2,
+                                    heartbeat_interval=0.1,
+                                    heartbeat_timeout=1.0) as cluster:
+                cluster.add(trajectories)
+                four[0].close()
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline:
+                    stats = cluster.stats()
+                    if (not stats["underreplicated"]
+                            and not stats["degraded"]):
+                        break
+                    time.sleep(0.1)
+                stats = cluster.stats()
+                assert stats["underreplicated"] == []
+                assert stats["degraded"] == []
+                assert stats["rereplications"] >= 1
+                expected = single_service.knn(trajectories[:3], k=4)
+                got = cluster.knn(trajectories[:3], k=4)
+                assert got[0].tobytes() == expected[0].tobytes()
+                assert got[1].tobytes() == expected[1].tobytes()
+        finally:
+            for worker in four:
+                worker.close()
+
+    def test_replication_factor_is_validated(self, workers):
+        with pytest.raises(ValueError, match="replication"):
+            make_cluster(workers, replication=3)
+        with pytest.raises(ValueError, match="replication"):
+            make_cluster(workers, replication=0)
+
+
+class TestFailoverEdgeCases:
+    def test_worker_dies_during_join_handshake(self):
+        """A listener that accepts and immediately hangs up must fail the
+        constructor with a transport error, not a hang — and close()
+        still runs cleanly afterwards."""
+        from repro.api import TransportError
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        address = listener.getsockname()[:2]
+        stop = threading.Event()
+
+        def accept_and_drop():
+            listener.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    sock, _peer = listener.accept()
+                except socket.timeout:
+                    continue
+                sock.close()  # dies mid-handshake
+
+        thread = threading.Thread(target=accept_and_drop, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises((TransportError, OSError)):
+                ClusterCoordinator([address], backend="hausdorff",
+                                   heartbeat_interval=0,
+                                   connect_retries=1, retry_wait=0.01)
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+            listener.close()
+
+    def test_two_workers_die_in_one_heartbeat_interval(self, single_service,
+                                                       trajectories):
+        """W=4, R=2, workers 1 and 3 die together: every shard keeps one
+        replica, so the heartbeat degrades both without losing a query."""
+        four = [ShardWorker() for _ in range(4)]
+        try:
+            with ClusterCoordinator([w.address for w in four],
+                                    backend="hausdorff", replication=2,
+                                    heartbeat_interval=0.1,
+                                    heartbeat_timeout=1.0,
+                                    rereplicate=False) as cluster:
+                cluster.add(trajectories)
+                four[1].close()
+                four[3].close()
+                deadline = time.monotonic() + 15
+                while (time.monotonic() < deadline
+                       and cluster.stats()["alive_workers"] != 2):
+                    time.sleep(0.05)
+                stats = cluster.stats()
+                assert stats["alive_workers"] == 2
+                assert stats["degraded"] == []
+                expected = single_service.knn(trajectories[:3], k=4)
+                got = cluster.knn(trajectories[:3], k=4)
+                assert got[0].tobytes() == expected[0].tobytes()
+                assert got[1].tobytes() == expected[1].tobytes()
+        finally:
+            for worker in four:
+                worker.close()
+
+    def test_ping_alive_but_command_failing_worker_is_degraded(
+            self, single_service, trajectories):
+        """Differential diagnosis: a worker that answers ping but errors
+        on shard commands is degraded (its replicas cover for it) instead
+        of failing the query or surviving as a zombie."""
+
+        class FlakyWorker(ShardWorker):
+            def _handlers(self):
+                handlers = dict(super()._handlers())
+
+                def broken_knn(_payload):
+                    raise RuntimeError("simulated shard fault")
+
+                handlers["knn"] = broken_knn
+                return handlers
+
+        flaky = FlakyWorker()
+        healthy = ShardWorker()
+        try:
+            with ClusterCoordinator([flaky.address, healthy.address],
+                                    backend="hausdorff", replication=2,
+                                    heartbeat_interval=0) as cluster:
+                cluster.add(trajectories)
+                expected = single_service.knn(trajectories[:3], k=4)
+                got = cluster.knn(trajectories[:3], k=4)
+                assert got[0].tobytes() == expected[0].tobytes()
+                assert got[1].tobytes() == expected[1].tobytes()
+                stats = cluster.stats()
+                dead = [entry for entry in stats["worker_links"]
+                        if not entry["alive"]]
+                assert len(dead) == 1
+                assert "knn failed" in dead[0]["reason"]
+        finally:
+            flaky.close()
+            healthy.close()
+
+    def test_unreplicated_worker_error_propagates(self, trajectories):
+        """R=1 keeps the legacy contract: an error reply with no replica
+        to re-route to propagates as RemoteCallError and degrades no one."""
+
+        class FlakyWorker(ShardWorker):
+            def _handlers(self):
+                handlers = dict(super()._handlers())
+
+                def broken_knn(_payload):
+                    raise RuntimeError("simulated shard fault")
+
+                handlers["knn"] = broken_knn
+                return handlers
+
+        flaky = FlakyWorker()
+        healthy = ShardWorker()
+        try:
+            with ClusterCoordinator([flaky.address, healthy.address],
+                                    backend="hausdorff",
+                                    heartbeat_interval=0) as cluster:
+                cluster.add(trajectories)
+                with pytest.raises(RemoteCallError,
+                                   match="simulated shard fault"):
+                    cluster.knn(trajectories[0], k=2)
+                # No replica could have answered instead, so nobody was
+                # degraded: the failure is the request's, not a worker's.
+                assert cluster.stats()["alive_workers"] == 2
+        finally:
+            flaky.close()
+            healthy.close()
+
+
+class TestCloseRegression:
+    def test_close_survives_workers_that_died_after_degrade(
+            self, trio, trajectories):
+        """close(shutdown_workers=True) over a mix of up and dead-after-
+        degrade workers: no hang, no FrameError escaping the cascade."""
+        cluster = ClusterCoordinator([w.address for w in trio],
+                                     backend="hausdorff", replication=2,
+                                     heartbeat_interval=0.1,
+                                     heartbeat_timeout=1.0)
+        cluster.add(trajectories[:6])
+        trio[0].close()
+        deadline = time.monotonic() + 15
+        while (time.monotonic() < deadline
+               and cluster.stats()["alive_workers"] != 2):
+            time.sleep(0.05)
+        start = time.monotonic()
+        cluster.close(shutdown_workers=True)  # must not raise
+        assert time.monotonic() - start < 10.0
+        # Idempotent, still quiet.
+        cluster.close()
+
+    def test_close_is_prompt_with_live_heartbeat(self, workers,
+                                                 trajectories):
+        cluster = make_cluster(workers, heartbeat_interval=0.5,
+                               heartbeat_timeout=8.0)
+        cluster.add(trajectories[:4])
+        start = time.monotonic()
+        cluster.close()
+        # The old close() joined the heartbeat for heartbeat_timeout+1s;
+        # the severed-channel wakeup must beat that by a wide margin.
+        assert time.monotonic() - start < 5.0

@@ -492,6 +492,54 @@ class TestMetrics:
         assert 'repro_gateway_shard_up{shard="0"} 1' in text
         assert 'repro_gateway_shard_up{shard="1"} 0' in text
 
+    def test_healthz_replica_health_and_shard_replicas_metric(self):
+        """A replicated cluster's stats surface per-shard replica rows in
+        /healthz and a healthy-replica gauge in /metrics; an
+        under-replicated (but fully served) cluster stays 200."""
+
+        class ReplicatedService:
+            def stats(self):
+                return {
+                    "size": 40, "degraded": [], "replication": 2,
+                    "underreplicated": [1],
+                    "shards": [
+                        {"shard": 0, "size": 20, "alive": True,
+                         "healthy_replicas": 2, "replicas": []},
+                        {"shard": 1, "size": 20, "alive": True,
+                         "healthy_replicas": 1, "replicas": []},
+                    ],
+                }
+
+        with SimilarityGateway(ReplicatedService()) as gw:
+            status, _, reply = request_json(gw, "/healthz")
+            assert status == 200
+            assert reply["status"] == "underreplicated"
+            assert reply["replication"] == 2
+            assert reply["underreplicated"] == [1]
+            assert reply["shards"] == [
+                {"shard": 0, "healthy_replicas": 2, "alive": True},
+                {"shard": 1, "healthy_replicas": 1, "alive": True}]
+            text = request(gw, "/metrics")[2].decode()
+        assert 'repro_gateway_shard_replicas{shard="0"} 2' in text
+        assert 'repro_gateway_shard_replicas{shard="1"} 1' in text
+
+    def test_shard_lost_maps_to_503(self, trajectories):
+        from repro.api import ShardLostError
+
+        class LostShardService:
+            def stats(self):
+                return {"size": 0, "degraded": [0]}
+
+            def knn(self, queries, k, exclude=None, dedupe_eps=None):
+                raise ShardLostError("shard 0 has no healthy replica")
+
+        with SimilarityGateway(LostShardService()) as gw:
+            status, headers, reply = request_json(
+                gw, "/knn", {"queries": as_lists(trajectories[:1]), "k": 2})
+        assert status == 503
+        assert "no healthy replica" in reply["error"]
+        assert headers.get("Retry-After") == "1"
+
 
 # ----------------------------------------------------------------------
 # Lifecycle
