@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all lint lint-smoke smoke serve-smoke cluster-smoke chaos-smoke http-smoke bench serve-bench bench-encode
+.PHONY: test test-all lint lint-smoke smoke serve-smoke cluster-smoke chaos-smoke http-smoke bench serve-bench bench-encode bench-index bench-index-smoke
 
 # Tier-1 suite (the repo's verification gate; deselects `slow`-marked
 # serving stress tests — see pytest.ini).
@@ -18,6 +18,7 @@ test-all: lint
 	$(PYTHON) scripts/chaos_smoke.py
 	$(PYTHON) scripts/http_smoke.py
 	$(PYTHON) scripts/lint_smoke.py
+	$(PYTHON) scripts/bench_index_smoke.py
 
 # Concurrency-aware static analysis over src/ (see src/repro/analysis):
 # lock-order cycles, unlocked shared writes, blocking calls under locks,
@@ -79,3 +80,13 @@ serve-bench:
 # tier-1.
 bench-encode:
 	$(PYTHON) benchmarks/bench_encode.py --output benchmarks/results/BENCH_encode.json
+
+# ANN index sweep at 10^5 vectors (recall@10 vs bytes/vector vs q/s for
+# bruteforce/ivf/pq/int8/hnsw), merged scenario-by-scenario into the
+# index perf-trajectory record. Outside tier-1; the smoke variant runs a
+# downscaled sweep and asserts the recall/memory acceptance envelope.
+bench-index:
+	$(PYTHON) benchmarks/bench_index.py --output benchmarks/results/BENCH_index.json
+
+bench-index-smoke:
+	$(PYTHON) scripts/bench_index_smoke.py

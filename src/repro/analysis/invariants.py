@@ -1,4 +1,4 @@
-"""Repo-invariant rules: R301–R307.
+"""Repo-invariant rules: R301–R309.
 
 These encode decisions this codebase has already made, so drift is
 caught at lint time instead of in review:
@@ -28,6 +28,14 @@ caught at lint time instead of in review:
   the recovering peer (the serving stack's connect/retry paths all
   scale and jitter their waits — see ``SocketTransport.connect`` and
   the remote client's transient retry).
+* **R309** — the quantized-index scan kernels (``repro/index/quant.py``,
+  ``pq.py``, ``hnsw.py``) are dtype-preserving by contract: codes stay
+  uint8/int16 and accumulators stay float32, so a scan over 10⁶ vectors
+  never materializes an 8-byte-per-element intermediate. Inside those
+  modules' search/scan/ADC/LUT functions, an ``astype(float64)``, a
+  ``dtype=np.float64`` keyword, or a default-float64 allocator
+  (``np.zeros``/``np.empty``/... without ``dtype=``) silently doubles
+  the scan's working set and fires this rule.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from .core import Checker, FileContext, Finding, Rule, register_checker
 __all__ = [
     "RULE_R301", "RULE_R302", "RULE_R303",
     "RULE_R304", "RULE_R305", "RULE_R306", "RULE_R307", "RULE_R308",
+    "RULE_R309",
 ]
 
 RULE_R301 = Rule(
@@ -92,6 +101,13 @@ RULE_R308 = Rule(
     "jitter) so a fleet of retriers does not wake in lockstep against a "
     "recovering peer",
 )
+RULE_R309 = Rule(
+    "R309", "warning",
+    "float64 intermediate materialized in a quantized-index scan path",
+    "quantized kernels are dtype-preserving: allocate with an explicit "
+    "narrow dtype (float32/uint8/int16) and never astype/dtype=float64 "
+    "inside ADC/int8/graph scan code",
+)
 
 #: modules where pickle use is by design
 _PICKLE_ALLOWED_MODULES = {"transport"}
@@ -106,8 +122,18 @@ _DISPATCH_ALLOWED_MODULES = {"registry", "backends", "indexes", "service"}
 _KNOWN_DISPATCH_NAMES = {
     "trajcl", "t2vec", "neutraj", "traj2simvec", "cstrm", "e2dtc",
     "t3s", "trajgat", "trjsr", "hausdorff", "frechet", "edr", "edwp",
-    "bruteforce", "ivf", "segment",
+    "bruteforce", "ivf", "segment", "pq", "int8", "hnsw",
 }
+
+#: modules holding the quantized-index scan kernels R309 polices
+_QUANTIZED_SCAN_MODULES = {"quant", "pq", "hnsw"}
+#: function names that are part of a quantized scan path (training code —
+#: k-means over float64 — is deliberately out of scope)
+_QUANTIZED_SCAN_FUNC = re.compile(
+    r"(search|scan|adc|lut|decode|distance)", re.IGNORECASE
+)
+#: numpy allocators whose dtype defaults to float64
+_DEFAULT_FLOAT64_ALLOCATORS = {"zeros", "empty", "ones", "full"}
 
 
 def _attr_chain(node: ast.AST) -> str:
@@ -415,5 +441,85 @@ class NpzFormatVersionChecker(Checker):
                     RULE_R306, node,
                     f"np.{func.attr}(...) writer has no format_version field "
                     f"in scope",
+                ))
+        return findings
+
+
+def _is_float64_ref(node: ast.AST) -> bool:
+    """True when *node* names float64 — np.float64, "float64", or float."""
+    if isinstance(node, ast.Constant):
+        return node.value in ("float64", "float")
+    if isinstance(node, ast.Name):
+        return node.id == "float"
+    chain = _attr_chain(node)
+    return chain is not None and chain.endswith("float64")
+
+
+@register_checker
+class QuantizedScanDtypeChecker(Checker):
+    """R309 — float64 intermediates in quantized-index scan paths.
+
+    Scoped to the quantized-index modules (``quant``, ``pq``, ``hnsw``)
+    and, within them, to functions whose name marks them as part of the
+    scan path (search/scan/adc/lut/decode/distance). Three shapes fire:
+    ``x.astype(float64-ish)``, an explicit ``dtype=float64-ish`` keyword,
+    and the sneakiest one — a ``np.zeros/empty/ones/full`` call with no
+    ``dtype=`` at all, whose numpy default is float64.
+    """
+
+    rules = (RULE_R309,)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module_name not in _QUANTIZED_SCAN_MODULES:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            scope = ctx.enclosing(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if scope is None or not _QUANTIZED_SCAN_FUNC.search(scope.name):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "astype"
+                and node.args
+                and _is_float64_ref(node.args[0])
+            ):
+                findings.append(ctx.finding(
+                    RULE_R309, node,
+                    f"astype(float64) inside scan path {scope.name}(); "
+                    f"quantized kernels must stay float32-or-narrower",
+                ))
+                continue
+            widened = next(
+                (
+                    kw for kw in node.keywords
+                    if kw.arg == "dtype" and kw.value is not None
+                    and _is_float64_ref(kw.value)
+                ),
+                None,
+            )
+            if widened is not None:
+                findings.append(ctx.finding(
+                    RULE_R309, node,
+                    f"dtype=float64 inside scan path {scope.name}(); "
+                    f"quantized kernels must stay float32-or-narrower",
+                ))
+                continue
+            chain = _attr_chain(func)
+            if (
+                chain is not None
+                and chain.startswith(("np.", "numpy."))
+                and chain.rsplit(".", 1)[-1] in _DEFAULT_FLOAT64_ALLOCATORS
+                and not any(kw.arg == "dtype" for kw in node.keywords)
+            ):
+                findings.append(ctx.finding(
+                    RULE_R309, node,
+                    f"np.{chain.rsplit('.', 1)[-1]}(...) without dtype= in "
+                    f"scan path {scope.name}() allocates float64; pass an "
+                    f"explicit narrow dtype",
                 ))
         return findings

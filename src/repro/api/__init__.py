@@ -61,10 +61,14 @@ from . import backends as _backends  # populate the registry  # noqa: F401
 from .backends import backend_state, restore_backend
 from .indexes import (
     BruteForceBackendIndex,
+    HNSWBackendIndex,
+    Int8BackendIndex,
     IVFBackendIndex,
+    PQBackendIndex,
     SegmentBackendIndex,
     available_indexes,
     get_index,
+    index_is_exact,
     register_index,
 )
 from .service import CacheInfo, SimilarityService
@@ -114,9 +118,13 @@ __all__ = [
     "register_index",
     "get_index",
     "available_indexes",
+    "index_is_exact",
     "BruteForceBackendIndex",
     "IVFBackendIndex",
     "SegmentBackendIndex",
+    "PQBackendIndex",
+    "Int8BackendIndex",
+    "HNSWBackendIndex",
     "CacheInfo",
     "SimilarityService",
     "ShardedSimilarityService",

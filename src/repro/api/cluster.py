@@ -84,6 +84,7 @@ from ..trajectory.trajectory import TrajectoryLike
 from .backends import backend_state, restore_backend
 from .chaos import ChaosConfig, ChaosTransport
 from .protocols import SimilarityBackend, as_backend
+from .indexes import index_is_exact
 from .registry import get_backend
 from .remote import ThreadedNodeServer, install_signal_shutdown, parse_address
 from .service import SimilarityService, _default_index_for
@@ -450,7 +451,7 @@ class ClusterCoordinator(ShardMergeMixin):
         if index is None:
             index = _default_index_for(backend)
         self.index_name = index
-        self._exact_shards = index != "ivf"
+        self._exact_shards = index_is_exact(index)
         self._index_kwargs = index_kwargs
         self._batch_size = int(batch_size)
         self._cache_size = int(cache_size)

@@ -258,6 +258,10 @@ class Index(ABC):
     name: str = "abstract"
     #: ``"vectors"`` or ``"trajectories"``
     consumes: str = "vectors"
+    #: whether :meth:`search` answers exact kNN. Approximate indexes
+    #: (IVF, PQ, int8, HNSW) set this False, which disables the sharded
+    #: merge's bit-exactness frontier certificate.
+    exact: bool = True
 
     @abstractmethod
     def add(self, items) -> None:
@@ -270,6 +274,19 @@ class Index(ABC):
     @abstractmethod
     def __len__(self) -> int:
         """Number of indexed items."""
+
+    def stats(self) -> Dict:
+        """JSON-able introspection: name, size, exactness, memory.
+
+        The compressed indexes extend this with codebook/knob detail;
+        the service surfaces it as ``stats()["index_stats"]`` all the way
+        up through the gateway's ``/stats`` endpoint.
+        """
+        info: Dict = {"name": self.name, "size": len(self), "exact": self.exact}
+        memory = getattr(self, "memory_bytes", None)
+        if isinstance(memory, (int, np.integer)):
+            info["memory_bytes"] = int(memory)
+        return info
 
     # ------------------------------------------------------------------
     # Persistence: meta must be JSON-able, arrays are numpy payloads.

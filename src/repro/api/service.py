@@ -203,7 +203,7 @@ class SimilarityService:
         remote serving layer's ``stats`` command
         (:class:`~repro.api.remote.SimilarityServer`).
         """
-        return {
+        info = {
             "type": type(self).__name__,
             "backend": self.backend.name,
             "kind": self.backend.kind,
@@ -211,6 +211,12 @@ class SimilarityService:
             "size": len(self),
             "cache": self.cache_info()._asdict(),
         }
+        if self.index is not None:
+            # Unified index introspection (exactness, memory_bytes, and the
+            # quantized indexes' codebook/knob detail) — JSON-able all the
+            # way up to the gateway's /stats endpoint.
+            info["index_stats"] = self.index.stats()
+        return info
 
     def _cache_put(self, key: str, vector: np.ndarray) -> None:
         if self.cache_size <= 0:

@@ -49,6 +49,7 @@ from ..trajectory import as_points
 from ..trajectory.trajectory import TrajectoryLike
 from .backends import backend_state, restore_backend
 from .protocols import KnnService, SimilarityBackend, as_backend
+from .indexes import index_is_exact
 from .registry import get_backend
 from .service import SimilarityService, _default_index_for
 from . import wire
@@ -401,9 +402,10 @@ class ShardedSimilarityService(ShardMergeMixin):
             # and the workers build exactly what a single service would.
             index = _default_index_for(backend)
         self.index_name = index
-        # IVF shards answer approximately (probed cells only); the merge
-        # certificate below is only meaningful over exact shard indexes.
-        self._exact_shards = index != "ivf"
+        # Approximate shards (ivf/pq/int8/hnsw) answer from probed cells,
+        # codes or a beam; the merge certificate below is only meaningful
+        # over exact shard indexes — the registry knows which is which.
+        self._exact_shards = index_is_exact(index)
         self.num_workers = int(num_workers)
         self._shard_ids: List[List[int]] = [[] for _ in range(self.num_workers)]
         # Per-shard id arrays the query path reads; refreshed on add.

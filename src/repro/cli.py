@@ -207,19 +207,62 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+#: --index choices shared by knn/serve/serve-http/cluster/serve-bench.
+_INDEX_CHOICES = ["auto", "bruteforce", "ivf", "pq", "int8", "hnsw", "segment"]
+
+#: per-index kwargs builders (a dict, not an if/elif chain, so adding an
+#: index stays a registry-style one-liner). The adapters clamp their own
+#: knobs (n_lists, coarse_lists, codebook size) to the database.
+_INDEX_KWARG_BUILDERS = {
+    "ivf": lambda args: {"n_lists": args.lists,
+                         "n_probe": max(1, args.lists // 4),
+                         "seed": args.seed},
+    "pq": lambda args: {"n_subspaces": args.pq_subspaces,
+                        "n_centroids": args.pq_centroids,
+                        "coarse_lists": args.lists if args.pq_coarse else 0,
+                        "n_probe": max(1, args.lists // 4),
+                        "refine_factor": args.pq_refine or 4,
+                        "refine_dtype": "float16" if args.pq_refine else None,
+                        "seed": args.seed},
+    "hnsw": lambda args: {"m": args.hnsw_m,
+                          "ef_construction": args.ef_construction,
+                          "ef_search": args.ef_search,
+                          "seed": args.seed},
+}
+
+
 def _index_from_args(args):
     """``(index, index_kwargs)`` shared by the ``knn`` and ``serve`` paths."""
-    index_kwargs = {}
-    index = None  # service default: bruteforce / segment / pairwise scan
-    if args.index == "ivf":
-        # The IVF adapter clamps n_lists to the database size itself.
-        index = "ivf"
-        index_kwargs = {"n_lists": args.lists,
-                        "n_probe": max(1, args.lists // 4),
-                        "seed": args.seed}
-    elif args.index != "auto":
-        index = args.index
-    return index, index_kwargs
+    name = getattr(args, "index", "auto")
+    if name == "auto":
+        # service default: bruteforce / segment / pairwise scan
+        return None, {}
+    build = _INDEX_KWARG_BUILDERS.get(name)
+    return name, (build(args) if build else {})
+
+
+def _add_index_args(p) -> None:
+    """``--index`` + knob flags, shared by every index-building command."""
+    p.add_argument("--index", default="auto", choices=_INDEX_CHOICES,
+                   help="kNN index (auto: exact default for the backend; "
+                        "pq/int8/hnsw are compressed/approximate)")
+    p.add_argument("--lists", type=int, default=16,
+                   help="coarse lists for ivf (and pq with --pq-coarse)")
+    p.add_argument("--pq-subspaces", type=int, default=16,
+                   help="pq: codebooks, i.e. bytes per stored vector")
+    p.add_argument("--pq-centroids", type=int, default=256,
+                   help="pq: centroids per codebook (<= 256)")
+    p.add_argument("--pq-coarse", action="store_true",
+                   help="pq: IVF-PQ residual variant over --lists cells")
+    p.add_argument("--pq-refine", type=int, default=0, metavar="FACTOR",
+                   help="pq: re-rank FACTOR*k ADC candidates against a "
+                        "retained float16 tail (0: off)")
+    p.add_argument("--hnsw-m", type=int, default=16,
+                   help="hnsw: neighbours per node per layer")
+    p.add_argument("--ef-construction", type=int, default=64,
+                   help="hnsw: beam width while inserting")
+    p.add_argument("--ef-search", type=int, default=32,
+                   help="hnsw: beam width while querying")
 
 
 def _print_neighbours(header: str, unit: str, distances, neighbors) -> None:
@@ -516,15 +559,19 @@ def _bench_in_process(args, backend, database, queries) -> dict:
     """queries/sec by worker count, direct vs through the QueryQueue."""
     from .api import QueryQueue, ShardedSimilarityService, SimilarityService
 
+    index, index_kwargs = _index_from_args(args)
     worker_counts = [int(w) for w in args.workers.split(",")]
     results = []
     for workers in worker_counts:
         if workers > 1:
             service = ShardedSimilarityService(backend=backend,
+                                               index=index,
+                                               index_kwargs=index_kwargs,
                                                num_workers=workers,
                                                wire_format=args.wire_format)
         else:
-            service = SimilarityService(backend=backend)
+            service = SimilarityService(backend=backend, index=index,
+                                        index_kwargs=index_kwargs)
         try:
             service.add(database)
             service.knn(queries, k=args.k)  # warm caches in every process
@@ -583,7 +630,9 @@ def _bench_remote(args, backend, database, queries) -> dict:
     """queries/sec over TCP: per-call round-trips and one batched call."""
     from .api import RemoteSimilarityClient, SimilarityServer, SimilarityService
 
-    service = SimilarityService(backend=backend).add(database)
+    index, index_kwargs = _index_from_args(args)
+    service = SimilarityService(backend=backend, index=index,
+                                index_kwargs=index_kwargs).add(database)
     service.knn(queries, k=args.k)  # warm the cache like the other modes
     with SimilarityServer(service, wire_format=args.wire_format) as server:
         with RemoteSimilarityClient(*server.address,
@@ -619,7 +668,9 @@ def _bench_async(args, backend, database, queries) -> dict:
 
     from .api import AsyncSimilarityClient, SimilarityServer, SimilarityService
 
-    service = SimilarityService(backend=backend).add(database)
+    index, index_kwargs = _index_from_args(args)
+    service = SimilarityService(backend=backend, index=index,
+                                index_kwargs=index_kwargs).add(database)
     service.knn(queries, k=args.k)
     connections = max(1, args.connections)
 
@@ -656,11 +707,13 @@ def _bench_cluster(args, backend, database, queries) -> dict:
     """queries/sec through a coordinator over real localhost shard workers."""
     from .api.cluster import ClusterCoordinator, ShardWorker
 
+    index, index_kwargs = _index_from_args(args)
     workers = [ShardWorker(wire_format=args.wire_format)
                for _ in range(max(1, args.cluster_workers))]
     try:
         with ClusterCoordinator([w.address for w in workers],
                                 backend=backend,
+                                index=index, index_kwargs=index_kwargs,
                                 wire_format=args.wire_format,
                                 heartbeat_interval=0) as cluster:
             cluster.add(database)
@@ -703,7 +756,9 @@ def _bench_http(args, backend, database, queries) -> dict:
     from .api import QueryQueue, SimilarityService
     from .api.gateway import SimilarityGateway
 
-    service = SimilarityService(backend=backend).add(database)
+    index, index_kwargs = _index_from_args(args)
+    service = SimilarityService(backend=backend, index=index,
+                                index_kwargs=index_kwargs).add(database)
     service.knn(queries, k=args.k)  # warm the cache like the other modes
     bodies = [json.dumps({"queries": [np.asarray(query).tolist()],
                           "k": args.k}).encode() for query in queries]
@@ -772,14 +827,18 @@ def _bench_large_db(args, backend, database, queries) -> dict:
     big = generate_city(get_preset(args.city), args.db_size,
                         seed=args.seed + 1)
     big_queries = big[:min(args.queries, len(big))]
+    index, index_kwargs = _index_from_args(args)
     results = []
     for workers in (1, 2):
         if workers > 1:
             service = ShardedSimilarityService(backend=backend,
+                                               index=index,
+                                               index_kwargs=index_kwargs,
                                                num_workers=workers,
                                                wire_format=args.wire_format)
         else:
-            service = SimilarityService(backend=backend)
+            service = SimilarityService(backend=backend, index=index,
+                                        index_kwargs=index_kwargs)
         try:
             service.add(big)
             service.knn(big_queries, k=args.k)  # warm caches everywhere
@@ -864,6 +923,7 @@ def cmd_serve_bench(args) -> int:
         raise SystemExit(f"unknown scenario(s) {unknown}; "
                          f"choose from {sorted(runners)}")
 
+    bench_index, bench_index_kwargs = _index_from_args(args)
     config = {
         "backend": backend.name,
         "database_size": len(database),
@@ -873,7 +933,10 @@ def cmd_serve_bench(args) -> int:
         "max_batch": args.max_batch,
         "batch_wait": args.batch_wait,
         "wire_format": args.wire_format,
+        "index": bench_index or "auto",
     }
+    if bench_index_kwargs:
+        config["index_kwargs"] = bench_index_kwargs
     if "large_db" in names:
         config["db_size"] = args.db_size
         config["large_db_dim"] = args.large_db_dim
@@ -1016,13 +1079,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data", required=True)
     p.add_argument("--backend", default="trajcl",
                    help="backend name (see 'backends'; default: trajcl)")
-    p.add_argument("--index", default="auto",
-                   choices=["auto", "bruteforce", "ivf", "segment"],
-                   help="kNN index (auto: exact default for the backend)")
+    _add_index_args(p)
     p.add_argument("--query", type=int, default=0,
                    help="index of the query trajectory within --data")
     p.add_argument("--k", type=int, default=3)
-    p.add_argument("--lists", type=int, default=16, help="IVF lists")
     p.add_argument("--train-epochs", type=int, default=1,
                    help="training epochs for learned non-trajcl backends")
     p.add_argument("--workers", type=int, default=1,
@@ -1047,10 +1107,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trajectories .npz served as the database")
     p.add_argument("--backend", default="trajcl",
                    help="backend name (see 'backends'; default: trajcl)")
-    p.add_argument("--index", default="auto",
-                   choices=["auto", "bruteforce", "ivf", "segment"],
-                   help="kNN index (auto: exact default for the backend)")
-    p.add_argument("--lists", type=int, default=16, help="IVF lists")
+    _add_index_args(p)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="TCP port (0: pick an ephemeral port and print it)")
@@ -1083,10 +1140,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(omit when fronting --remote)")
     p.add_argument("--backend", default="trajcl",
                    help="backend name (see 'backends'; default: trajcl)")
-    p.add_argument("--index", default="auto",
-                   choices=["auto", "bruteforce", "ivf", "segment"],
-                   help="kNN index (auto: exact default for the backend)")
-    p.add_argument("--lists", type=int, default=16, help="IVF lists")
+    _add_index_args(p)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="HTTP port (0: pick an ephemeral port and print it)")
@@ -1145,10 +1199,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trajectories .npz served as the database")
     p.add_argument("--backend", default="trajcl",
                    help="backend name (see 'backends'; default: trajcl)")
-    p.add_argument("--index", default="auto",
-                   choices=["auto", "bruteforce", "ivf", "segment"],
-                   help="per-shard kNN index (auto: the backend's default)")
-    p.add_argument("--lists", type=int, default=16, help="IVF lists")
+    _add_index_args(p)
     p.add_argument("--workers", required=True, metavar="HOST:PORT,...",
                    help="comma-separated addresses of running "
                         "`cluster-worker` processes")
@@ -1207,6 +1258,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", help="TrajCL checkpoint to serve")
     p.add_argument("--queries", type=int, default=32)
     p.add_argument("--k", type=int, default=10)
+    # --index passes through to every service-building scenario, so e.g.
+    # large_db can prove cluster+quantized composition on hnsw/pq.
+    _add_index_args(p)
     p.add_argument("--workers", default="1,2,4",
                    help="comma-separated worker counts to sweep")
     p.add_argument("--repeats", type=int, default=3)

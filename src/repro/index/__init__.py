@@ -1,9 +1,14 @@
 """``repro.index`` — kNN indexes: brute force, IVFFlat (Faiss stand-in),
-and the segment-based Hausdorff index (DFT stand-in)."""
+the segment-based Hausdorff index (DFT stand-in), and the compressed /
+approximate structures (int8 scalar quantization, product quantization,
+HNSW graph)."""
 
 from .bruteforce import BruteForceIndex, pairwise_distances
+from .hnsw import HNSWIndex
 from .ivf import IVFFlatIndex
 from .kmeans import kmeans, kmeans_plus_plus_init
+from .pq import PQIndex, ProductQuantizer
+from .quant import Int8FlatIndex, ScalarQuantizer, topk_rows
 from .segment import SegmentHausdorffIndex
 
 __all__ = [
@@ -13,4 +18,10 @@ __all__ = [
     "kmeans_plus_plus_init",
     "IVFFlatIndex",
     "SegmentHausdorffIndex",
+    "Int8FlatIndex",
+    "ScalarQuantizer",
+    "topk_rows",
+    "ProductQuantizer",
+    "PQIndex",
+    "HNSWIndex",
 ]

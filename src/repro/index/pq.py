@@ -1,0 +1,349 @@
+"""Product quantization — codebook-compressed residency with ADC scans.
+
+A vector is split into ``n_subspaces`` contiguous sub-vectors and each
+subspace gets its own k-means codebook (≤256 centroids, so one uint8 per
+subspace). Stored vectors shrink from ``8 * dim`` bytes to ``n_subspaces``
+bytes. A query builds a per-subspace table of sub-distances once (the LUT)
+and scores every code row with table gathers only — asymmetric distance
+computation (ADC), no vector arithmetic in the scan.
+
+Two optional stages trade memory back for recall:
+
+* ``coarse_lists > 0`` — IVF-PQ: a coarse k-means partition (reusing
+  :func:`repro.index.kmeans.kmeans`) assigns each vector to a Voronoi
+  cell and the PQ codebooks quantize *residuals* against the cell centre,
+  which are much smaller in magnitude than raw vectors; queries probe the
+  ``n_probe`` nearest cells with a per-cell residual LUT.
+* ``refine_dtype`` — keep a low-precision (float16/float32) copy of every
+  vector and exactly re-rank the best ``refine_factor * k`` ADC candidates
+  against it before answering.
+
+Scan kernels are dtype-preserving: LUTs, ADC accumulators and outputs are
+float32 and codes stay uint8 (lint rule R309 guards this module).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .bruteforce import pairwise_distances
+from .kmeans import kmeans
+from .quant import topk_rows
+
+_REFINE_DTYPES = (None, "float16", "float32")
+
+
+class ProductQuantizer:
+    """Per-subspace k-means codebooks over (possibly zero-padded) vectors.
+
+    ``dim`` need not divide ``n_subspaces``: vectors are zero-padded to
+    ``sub_dim * n_subspaces`` columns, which leaves every distance
+    unchanged (the pad contributes identically to data and queries).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_subspaces: int = 8,
+        n_centroids: int = 256,
+        metric: str = "l1",
+        iterations: int = 20,
+    ):
+        if metric not in ("l1", "l2"):
+            raise ValueError("metric must be 'l1' or 'l2'")
+        if n_subspaces < 1:
+            raise ValueError("n_subspaces must be positive")
+        if not 1 <= n_centroids <= 256:
+            raise ValueError("n_centroids must be in [1, 256] to fit uint8 codes")
+        self.dim = dim
+        self.n_subspaces = min(n_subspaces, dim)
+        self.n_centroids = n_centroids
+        self.metric = metric
+        self.iterations = iterations
+        self.sub_dim = -(-dim // self.n_subspaces)  # ceil
+        self.padded_dim = self.sub_dim * self.n_subspaces
+        self.codebooks: Optional[np.ndarray] = None  # float32 (m, k, sub_dim)
+
+    @property
+    def trained(self) -> bool:
+        return self.codebooks is not None
+
+    def _pad(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (*, {self.dim}) vectors")
+        if self.padded_dim == self.dim:
+            return vectors
+        out = np.zeros((len(vectors), self.padded_dim), dtype=vectors.dtype)
+        out[:, :self.dim] = vectors
+        return out
+
+    def train(self, vectors: np.ndarray, rng: Optional[np.random.Generator] = None) -> None:
+        """Fit one k-means codebook per subspace (k clamped to the data)."""
+        padded = self._pad(vectors)
+        if len(padded) == 0:
+            raise ValueError("cannot train a product quantizer on zero vectors")
+        k = min(self.n_centroids, len(padded))
+        books = []
+        for j in range(self.n_subspaces):
+            sub = padded[:, j * self.sub_dim:(j + 1) * self.sub_dim]
+            centers, _ = kmeans(sub, k, iterations=self.iterations, rng=rng)
+            books.append(centers)
+        self.codebooks = np.stack(books).astype(np.float32)
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-centroid uint8 code per subspace: ``(N, n_subspaces)``."""
+        if not self.trained:
+            raise RuntimeError("product quantizer is untrained")
+        padded = self._pad(vectors)
+        codes = np.empty((len(padded), self.n_subspaces), dtype=np.uint8)
+        for j in range(self.n_subspaces):
+            sub = padded[:, j * self.sub_dim:(j + 1) * self.sub_dim]
+            distances = pairwise_distances(sub, self.codebooks[j], self.metric)
+            codes[:, j] = distances.argmin(axis=1)
+        return codes
+
+    def lut(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query sub-distance tables, float32 ``(|Q|, m, k)``.
+
+        For ``l2`` the tables hold *squared* sub-distances so ADC can sum
+        them and take one square root at the end.
+        """
+        if not self.trained:
+            raise RuntimeError("product quantizer is untrained")
+        padded = self._pad(queries)
+        k = self.codebooks.shape[1]
+        tables = np.empty((len(padded), self.n_subspaces, k), dtype=np.float32)
+        for j in range(self.n_subspaces):
+            sub = padded[:, j * self.sub_dim:(j + 1) * self.sub_dim].astype(np.float32)
+            diff = sub[:, None, :] - self.codebooks[j][None, :, :]
+            if self.metric == "l1":
+                tables[:, j, :] = np.abs(diff).sum(axis=2)
+            else:
+                tables[:, j, :] = (diff * diff).sum(axis=2)
+        return tables
+
+    def adc(self, tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """ADC distances float32 ``(|Q|, N)`` from LUT gathers only."""
+        acc = np.zeros((tables.shape[0], len(codes)), dtype=np.float32)
+        for j in range(self.n_subspaces):
+            acc += tables[:, j, codes[:, j]]
+        if self.metric == "l2":
+            np.sqrt(acc, out=acc)
+        return acc
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct float32 ``(N, dim)`` centroid concatenations."""
+        if not self.trained:
+            raise RuntimeError("product quantizer is untrained")
+        out = np.empty((len(codes), self.padded_dim), dtype=np.float32)
+        for j in range(self.n_subspaces):
+            out[:, j * self.sub_dim:(j + 1) * self.sub_dim] = self.codebooks[j][codes[:, j]]
+        return out[:, :self.dim]
+
+
+class PQIndex:
+    """PQ / IVF-PQ compressed index with an optional exact re-rank tail.
+
+    ``coarse_lists=0`` keeps one flat code list (pure PQ, full ADC scan).
+    ``coarse_lists>0`` partitions with coarse k-means and product-quantizes
+    residuals; queries probe the ``n_probe`` nearest cells. With
+    ``refine_dtype`` set, a low-precision copy of every vector is retained
+    and the top ``refine_factor * k`` ADC candidates are re-ranked exactly.
+
+    Like IVF, :meth:`train` must run before :meth:`add` and re-training
+    empties stored codes (codebooks changed); adds after training are
+    incremental — new vectors are encoded against the existing codebooks.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_subspaces: int = 8,
+        n_centroids: int = 256,
+        metric: str = "l1",
+        coarse_lists: int = 0,
+        n_probe: int = 8,
+        refine_factor: int = 4,
+        refine_dtype: Optional[str] = None,
+        iterations: int = 20,
+    ):
+        if coarse_lists < 0:
+            raise ValueError("coarse_lists must be >= 0")
+        if refine_factor < 1:
+            raise ValueError("refine_factor must be >= 1")
+        if refine_dtype not in _REFINE_DTYPES:
+            raise ValueError(f"refine_dtype must be one of {_REFINE_DTYPES}")
+        self.pq = ProductQuantizer(
+            dim, n_subspaces=n_subspaces, n_centroids=n_centroids,
+            metric=metric, iterations=iterations,
+        )
+        self.dim = dim
+        self.metric = metric
+        self.coarse_lists = coarse_lists
+        self.n_probe = n_probe
+        self.refine_factor = refine_factor
+        self.refine_dtype = refine_dtype
+        self.centers: Optional[np.ndarray] = None
+        self._codes = np.empty((0, self.pq.n_subspaces), dtype=np.uint8)
+        # Cell assignment per stored vector (IVF-PQ only; None when flat).
+        self._assign: Optional[np.ndarray] = None
+        self._cell_members: Optional[List[np.ndarray]] = None
+        self._tail: Optional[np.ndarray] = None
+        self._trained = False
+        self.train_count = 0
+
+    @property
+    def trained(self) -> bool:
+        return self._trained
+
+    def _reset_storage(self) -> None:
+        self._codes = np.empty((0, self.pq.n_subspaces), dtype=np.uint8)
+        self._assign = (
+            np.empty(0, dtype=np.int32) if self.coarse_lists else None
+        )
+        self._cell_members = None
+        self._tail = (
+            np.empty((0, self.dim), dtype=self.refine_dtype)
+            if self.refine_dtype else None
+        )
+
+    def train(self, vectors: np.ndarray, rng: Optional[np.random.Generator] = None) -> None:
+        """Fit coarse centres (IVF-PQ) and per-subspace codebooks."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (*, {self.dim}) vectors")
+        if self.coarse_lists:
+            if len(vectors) < self.coarse_lists:
+                raise ValueError(
+                    f"need at least coarse_lists={self.coarse_lists} training vectors"
+                )
+            self.centers, assignment = kmeans(vectors, self.coarse_lists, rng=rng)
+            training = vectors - self.centers[assignment]
+        else:
+            training = vectors
+        self.pq.train(training, rng=rng)
+        self._reset_storage()
+        self._trained = True
+        self.train_count += 1
+
+    def add(self, vectors: np.ndarray) -> None:
+        if not self._trained:
+            raise RuntimeError("index must be trained before adding vectors")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (*, {self.dim}) vectors")
+        if self.coarse_lists:
+            assignment = pairwise_distances(
+                vectors, self.centers, self.metric
+            ).argmin(axis=1).astype(np.int32)
+            encoded = self.pq.encode(vectors - self.centers[assignment])
+            self._assign = np.concatenate([self._assign, assignment])
+            self._cell_members = None
+        else:
+            encoded = self.pq.encode(vectors)
+        self._codes = np.concatenate([self._codes, encoded], axis=0)
+        if self._tail is not None:
+            self._tail = np.concatenate(
+                [self._tail, vectors.astype(self.refine_dtype)], axis=0
+            )
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate resident size (codes + codebooks + centres + tail)."""
+        total = self._codes.nbytes
+        if self.pq.codebooks is not None:
+            total += self.pq.codebooks.nbytes
+        if self._assign is not None:
+            total += self._assign.nbytes
+        if self.centers is not None:
+            total += self.centers.nbytes
+        if self._tail is not None:
+            total += self._tail.nbytes
+        return total
+
+    def _members(self) -> List[np.ndarray]:
+        if self._cell_members is None:
+            self._cell_members = [
+                np.flatnonzero(self._assign == cell)
+                for cell in range(self.coarse_lists)
+            ]
+        return self._cell_members
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int,
+               n_probe: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """ADC kNN (+ optional refine); rows padded with ``inf``/``-1``."""
+        if not self._trained or len(self._codes) == 0:
+            raise RuntimeError("index is empty")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"expected (*, {self.dim}) queries")
+        fetch = k if self._tail is None else max(k, k * self.refine_factor)
+        if self.coarse_lists:
+            distances, indices = self._search_coarse(queries, fetch, n_probe)
+        else:
+            tables = self.pq.lut(queries)
+            distances, indices = topk_rows(self.pq.adc(tables, self._codes), fetch)
+        if self._tail is not None:
+            distances, indices = self._refine(queries, indices, k)
+        return distances[:, :k], indices[:, :k]
+
+    def _search_coarse(self, queries: np.ndarray, fetch: int,
+                       n_probe: Optional[int]) -> Tuple[np.ndarray, np.ndarray]:
+        probe = max(1, min(n_probe if n_probe is not None else self.n_probe,
+                           self.coarse_lists))
+        center_distances = pairwise_distances(queries, self.centers, self.metric)
+        probed = np.argsort(center_distances, axis=1)[:, :probe]
+        members = self._members()
+        out_distances = np.full((len(queries), fetch), np.inf, dtype=np.float32)
+        out_indices = np.full((len(queries), fetch), -1, dtype=np.int64)
+        for row, cells in enumerate(probed):
+            ids_parts, distance_parts = [], []
+            for cell in cells:
+                ids = members[cell]
+                if len(ids) == 0:
+                    continue
+                # LUT of the query's residual against this cell's centre:
+                # ADC then scores |(q - c) - decode(code)| = full distance.
+                residual = queries[row:row + 1] - self.centers[cell]
+                tables = self.pq.lut(residual)
+                distance_parts.append(self.pq.adc(tables, self._codes[ids])[0])
+                ids_parts.append(ids)
+            if not ids_parts:
+                continue
+            ids = np.concatenate(ids_parts)
+            distances = np.concatenate(distance_parts)
+            take = min(fetch, len(ids))
+            chosen = np.lexsort((ids, distances))[:take]
+            out_distances[row, :take] = distances[chosen]
+            out_indices[row, :take] = ids[chosen]
+        return out_distances, out_indices
+
+    def _refine(self, queries: np.ndarray, indices: np.ndarray,
+                k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact re-rank of ADC candidates against the retained tail."""
+        out_distances = np.full((len(queries), k), np.inf, dtype=np.float32)
+        out_indices = np.full((len(queries), k), -1, dtype=np.int64)
+        for row in range(len(queries)):
+            ids = indices[row]
+            ids = ids[ids >= 0]
+            if len(ids) == 0:
+                continue
+            exact = pairwise_distances(
+                queries[row:row + 1],
+                self._tail[ids].astype(np.float64),
+                self.metric,
+            )[0]
+            take = min(k, len(ids))
+            chosen = np.lexsort((ids, exact))[:take]
+            out_distances[row, :take] = exact[chosen].astype(np.float32)
+            out_indices[row, :take] = ids[chosen]
+        return out_distances, out_indices

@@ -229,6 +229,27 @@ R308_POLL = """
             time.sleep(0.1)
 """
 
+# R309 is scoped to the quantized-index modules (quant/pq/hnsw); these
+# snippets lint under filename="quant.py" in their dedicated tests below.
+R309_BAD = """
+    import numpy as np
+
+    def adc_scan(codes, lut):
+        out = np.zeros((len(codes),))
+        for j in range(codes.shape[1]):
+            out += lut[j, codes[:, j]].astype(np.float64)
+        return out
+"""
+R309_GOOD = """
+    import numpy as np
+
+    def adc_scan(codes, lut):
+        out = np.zeros((len(codes),), dtype=np.float32)
+        for j in range(codes.shape[1]):
+            out += lut[j, codes[:, j]]
+        return out
+"""
+
 GOLDEN = [
     ("C202", C202_BAD, C202_GOOD),
     ("C202", C202_MUTATOR_BAD, None),
@@ -394,6 +415,35 @@ def test_r302_single_comparison_is_not_dispatch(lint_rules):
             return False
     """)
     assert "R302" not in fired
+
+
+def test_r309_fires_only_in_quantized_modules(lint_rules):
+    assert "R309" in lint_rules(R309_BAD, filename="quant.py")
+    assert "R309" not in lint_rules(R309_GOOD, filename="quant.py")
+    # Same code outside quant/pq/hnsw is out of scope.
+    assert "R309" not in lint_rules(R309_BAD)
+
+
+def test_r309_ignores_training_code(lint_rules):
+    # train() is not a scan path: k-means over float64 is deliberate there.
+    fired = lint_rules("""
+        import numpy as np
+
+        def train(sample):
+            return sample.astype(np.float64)
+    """, filename="pq.py")
+    assert "R309" not in fired
+
+
+def test_r309_flags_dtype_kwarg_and_astype_float(lint_rules):
+    fired = lint_rules("""
+        import numpy as np
+
+        def search_layer(query, data):
+            acc = np.empty(len(data), dtype="float64")
+            return acc + data.astype(float)
+    """, filename="hnsw.py")
+    assert "R309" in fired
 
 
 # ----------------------------------------------------------------------

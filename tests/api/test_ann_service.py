@@ -1,0 +1,191 @@
+"""Tests for the ANN indexes behind the service stack: registration and
+exactness flags, SimilarityService composition (exclude/dedupe, stats),
+snapshot round-trips for all three compressed indexes, incremental add
+after training, the sharded service, and a cluster snapshot restored
+onto a different worker count."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ClusterCoordinator,
+    ShardWorker,
+    ShardedSimilarityService,
+    SimilarityService,
+    available_indexes,
+    get_backend,
+    get_index,
+    index_is_exact,
+)
+
+from .test_registry import make_trajectories
+
+ANN_NAMES = ["pq", "int8", "hnsw"]
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    return make_trajectories(n=20, seed=5)
+
+
+@pytest.fixture(scope="module")
+def backend(trajectories):
+    return get_backend("trajcl", trajectories=trajectories, dim=8,
+                       max_len=16, epochs=1, seed=0)
+
+
+def make_service(backend, name):
+    # Tiny-corpus knobs: codebooks clamp to the corpus size anyway, and a
+    # small train_sample keeps the lazy k-means fast.
+    kwargs = {
+        "pq": {"n_subspaces": 8, "seed": 0},
+        "int8": {},
+        "hnsw": {"seed": 0},
+    }[name]
+    return SimilarityService(backend=backend, index=name,
+                             index_kwargs=kwargs)
+
+
+class TestRegistration:
+    def test_ann_indexes_registered(self):
+        assert set(ANN_NAMES) <= set(available_indexes())
+
+    def test_exactness_map(self):
+        assert index_is_exact("bruteforce")
+        assert index_is_exact("segment")
+        assert index_is_exact(None)
+        for name in ("ivf", *ANN_NAMES):
+            assert not index_is_exact(name)
+        assert not index_is_exact("no-such-index")
+
+    @pytest.mark.parametrize("name", ANN_NAMES)
+    def test_stats_shape(self, name):
+        index = get_index(name)
+        stats = index.stats()
+        assert stats["name"] == name
+        assert stats["exact"] is False
+        assert stats["size"] == 0
+
+
+class TestServiceComposition:
+    @pytest.mark.parametrize("name", ANN_NAMES)
+    def test_knn_with_exclude_and_dedupe(self, backend, trajectories, name):
+        service = make_service(backend, name).add(trajectories)
+        distances, ids = service.knn(trajectories[:3], k=5, exclude=1)
+        assert ids.shape == (3, 5)
+        # exclude drops that database id from every row; the service
+        # over-fetches from the ANN structure so rows stay k wide.
+        assert 1 not in ids
+        assert (ids >= 0).all() and (ids < len(trajectories)).all()
+        deduped_d, deduped_i = service.knn(trajectories[:3], k=5,
+                                           dedupe_eps=1e-9)
+        assert deduped_i.shape == (3, 5)
+        assert (deduped_d > 1e-9).all()  # self-matches filtered
+
+    @pytest.mark.parametrize("name", ANN_NAMES)
+    def test_matches_bruteforce_on_tiny_corpus(self, backend, trajectories,
+                                               name):
+        # With 20 vectors the codebooks memorize the corpus and the graph
+        # beam covers it entirely: ANN results must equal the exact scan.
+        exact = SimilarityService(backend=backend).add(trajectories)
+        approx = make_service(backend, name).add(trajectories)
+        _, want = exact.knn(trajectories[:4], k=3, exclude=1)
+        _, got = approx.knn(trajectories[:4], k=3, exclude=1)
+        np.testing.assert_array_equal(want, got)
+
+    @pytest.mark.parametrize("name", ANN_NAMES)
+    def test_index_stats_exposed(self, backend, trajectories, name):
+        service = make_service(backend, name).add(trajectories)
+        service.knn(trajectories[:1], k=1)  # force the lazy build
+        stats = service.stats()
+        info = stats["index_stats"]
+        assert info["name"] == name
+        assert info["exact"] is False
+        assert info["size"] == len(trajectories)
+        assert info["memory_bytes"] > 0
+
+
+class TestSnapshots:
+    @pytest.mark.parametrize("name", ANN_NAMES)
+    def test_round_trip_is_bit_identical(self, backend, trajectories,
+                                         tmp_path, name):
+        path = str(tmp_path / f"{name}.npz")
+        service = make_service(backend, name).add(trajectories)
+        want_d, want_i = service.knn(trajectories[:4], k=5)
+        service.save(path)
+        restored = SimilarityService.load(path)
+        assert restored.index.name == name
+        got_d, got_i = restored.knn(trajectories[:4], k=5)
+        assert want_d.tobytes() == got_d.tobytes()
+        assert want_i.tobytes() == got_i.tobytes()
+
+    @pytest.mark.parametrize("name", ANN_NAMES)
+    def test_untrained_buffer_survives_the_round_trip(self, backend,
+                                                      trajectories, tmp_path,
+                                                      name):
+        # Save before any search: the compressed indexes still hold their
+        # raw float buffer, and the snapshot must carry it.
+        path = str(tmp_path / f"{name}-cold.npz")
+        service = make_service(backend, name).add(trajectories)
+        service.save(path)
+        restored = SimilarityService.load(path)
+        _, ids = restored.knn(trajectories[:2], k=3)
+        assert ids.shape == (2, 3)
+        assert len(restored) == len(trajectories)
+
+
+class TestIncrementalAdd:
+    @pytest.mark.parametrize("name", ANN_NAMES)
+    def test_add_after_first_search_stays_queryable(self, backend,
+                                                    trajectories, name):
+        service = make_service(backend, name).add(trajectories[:12])
+        service.knn(trajectories[:1], k=2)  # train/build on the first 12
+        service.add(trajectories[12:])
+        assert len(service) == len(trajectories)
+        _, ids = service.knn(trajectories[12:14], k=1)
+        # The newly added trajectories are their own nearest neighbours.
+        np.testing.assert_array_equal(ids[:, 0], [12, 13])
+
+
+class TestShardedAndCluster:
+    def test_sharded_service_with_hnsw(self, backend, trajectories):
+        exact = SimilarityService(backend=backend).add(trajectories)
+        with ShardedSimilarityService(
+                backend=backend, num_workers=2, index="hnsw",
+                index_kwargs={"seed": 0}) as sharded:
+            sharded.add(trajectories)
+            _, got = sharded.knn(trajectories[:4], k=3, exclude=1)
+        _, want = exact.knn(trajectories[:4], k=3, exclude=1)
+        np.testing.assert_array_equal(want, got)
+
+    def test_cluster_snapshot_restores_onto_more_workers(self, backend,
+                                                         trajectories,
+                                                         tmp_path):
+        snapshot = str(tmp_path / "cluster-pq")
+        exact = SimilarityService(backend=backend).add(trajectories)
+        two = [ShardWorker(), ShardWorker()]
+        three = [ShardWorker() for _ in range(3)]
+        try:
+            with ClusterCoordinator(
+                    [w.address for w in two], backend=backend, index="pq",
+                    index_kwargs={"n_subspaces": 8, "seed": 0},
+                    heartbeat_interval=0) as cluster:
+                cluster.add(trajectories)
+                cluster.knn(trajectories[:1], k=1)  # train the shard PQs
+                cluster.save(snapshot)
+            restored = ClusterCoordinator.load(
+                snapshot, [w.address for w in three], heartbeat_interval=0)
+            try:
+                assert len(restored) == len(trajectories)
+                assert restored.stats()["workers"] == 3
+                _, got = restored.knn(trajectories[:4], k=3, exclude=1)
+            finally:
+                restored.close()
+        finally:
+            for worker in two + three:
+                worker.close()
+        # Indexes are rebuilt per shard on load; on this corpus the PQ
+        # codebooks memorize their shards, so the merged answer matches
+        # the exact unsharded scan.
+        _, want = exact.knn(trajectories[:4], k=3, exclude=1)
+        np.testing.assert_array_equal(want, got)
